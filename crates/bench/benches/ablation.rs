@@ -1,0 +1,4 @@
+//! `cargo bench` target regenerating this experiment's table.
+fn main() {
+    ebc_bench::e12_ablation();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench` target regenerating this experiment's table.
+fn main() {
+    ebc_bench::e13_baseline_gap();
+}

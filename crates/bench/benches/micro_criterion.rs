@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the simulator substrate: wall-clock cost
+//! of channel resolution, decay SR-communication, and deterministic SR —
+//! the inner loops every experiment above rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebc_core::srcomm::{det_sr, Sr};
+use ebc_core::util::NodeRngs;
+use ebc_graphs::deterministic::star;
+use ebc_radio::{Model, NodeId, Sim};
+
+fn bench_decay_sr(c: &mut Criterion) {
+    let delta = 64;
+    let g = star(delta);
+    let senders: Vec<(NodeId, u32)> = (1..=delta).map(|v| (v, v as u32)).collect();
+    c.bench_function("decay_sr_star64", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(g.clone(), Model::NoCd, 5);
+            let sr = Sr::Decay { delta, sweeps: 10 };
+            let got = sr.run(&mut sim, &senders, &[0], &mut NodeRngs::new(5, delta + 1, 1));
+            std::hint::black_box(got)
+        })
+    });
+}
+
+fn bench_cd_sr(c: &mut Criterion) {
+    let delta = 64;
+    let g = star(delta);
+    let senders: Vec<(NodeId, u32)> = (1..=delta).map(|v| (v, v as u32)).collect();
+    c.bench_function("cd_transform_sr_star64", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(g.clone(), Model::Cd, 5);
+            let sr = Sr::CdTransform { delta, epochs: 20, relevance_check: false };
+            let got = sr.run(&mut sim, &senders, &[0], &mut NodeRngs::new(5, delta + 1, 1));
+            std::hint::black_box(got)
+        })
+    });
+}
+
+fn bench_det_sr(c: &mut Criterion) {
+    let delta = 64;
+    let g = star(delta);
+    let senders: Vec<(NodeId, u64)> = (1..=delta).map(|v| (v, v as u64)).collect();
+    c.bench_function("det_sr_star64_space1024", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(g.clone(), Model::Cd, 0);
+            std::hint::black_box(det_sr(&mut sim, &senders, &[0], 1024))
+        })
+    });
+}
+
+criterion_group!(benches, bench_decay_sr, bench_cd_sr, bench_det_sr);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs the benchmark experiments by name (or all of them).
+//!
+//! `cargo run --release -p ebc-bench` runs everything;
+//! `cargo run --release -p ebc-bench -- e4` runs experiments whose name
+//! contains "e4". The same runners back the `cargo bench` targets.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (name, f) in ebc_bench::ALL {
+        if args.is_empty() || args.iter().any(|a| name.contains(a.as_str())) {
+            f();
+        }
+    }
+}

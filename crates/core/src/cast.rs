@@ -1,0 +1,392 @@
+//! Down-cast, All-cast, Up-cast, Broadcast-from-labeling (Lemma 10) and the
+//! relabeling procedure (§5's "computing a new labeling L′ from L").
+//!
+//! All three casts are sequences of SR-communication rounds over the layers
+//! of a good labeling:
+//!
+//! * **Down-cast** — for `i = 0 … L−2`: layer-`i` holders send, layer-`(i+1)`
+//!   non-holders receive.
+//! * **All-cast** — every holder sends, every non-holder receives.
+//! * **Up-cast** — for `i = L−1 … 1`: layer-`i` holders send,
+//!   layer-`(i−1)` non-holders receive.
+//!
+//! `L` is the *public* layer bound every vertex knows (the paper uses
+//! `L = n` in §5 and `L = D̄` in §6), so the slot schedule is agreed even
+//! though most rounds are empty. Rounds in which provably nobody acts still
+//! consume their slots on the global clock; rounds with receivers but no
+//! senders still charge the receivers (a No-CD listener cannot know).
+
+use ebc_radio::{NodeId, Sim};
+
+use crate::labeling::Labeling;
+use crate::srcomm::Sr;
+use crate::util::NodeRngs;
+use crate::BroadcastOutcome;
+
+/// One SR round between computed sender/receiver sets, with clean skipping.
+///
+/// Returns `(receiver, message)` pairs for successful receptions.
+pub fn sr_round<M>(
+    sim: &mut Sim,
+    sr: &Sr,
+    senders: Vec<(NodeId, M)>,
+    receivers: Vec<NodeId>,
+    rngs: &mut NodeRngs,
+) -> Vec<(NodeId, M)>
+where
+    M: Clone + core::fmt::Debug + PartialEq,
+{
+    if senders.is_empty() && receivers.is_empty() {
+        sim.skip(sr.round_slots());
+        return Vec::new();
+    }
+    let got = sr.run(sim, &senders, &receivers, rngs);
+    receivers
+        .into_iter()
+        .zip(got)
+        .filter_map(|(v, m)| m.map(|m| (v, m)))
+        .collect()
+}
+
+/// Groups vertices by label; index `i` holds the layer-`i` vertices.
+/// Labels at or beyond `layer_bound` are clamped into the last bucket
+/// (they never arise for labelings produced by this crate).
+fn layer_buckets(labeling: &Labeling, layer_bound: u32) -> Vec<Vec<NodeId>> {
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); layer_bound as usize];
+    for v in 0..labeling.n() {
+        let l = (labeling.label(v)).min(layer_bound - 1) as usize;
+        buckets[l].push(v);
+    }
+    buckets
+}
+
+/// Flag message used when relaying a single payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Payload;
+
+/// The per-payload cast engine shared by [`broadcast_with_labeling`]: holds
+/// the layer buckets so each round costs `O(|bucket|)`, not `O(n)`.
+struct PayloadCaster<'a> {
+    buckets: Vec<Vec<NodeId>>,
+    sr: &'a Sr,
+}
+
+impl PayloadCaster<'_> {
+    fn down(&self, sim: &mut Sim, has: &mut [bool], rngs: &mut NodeRngs) {
+        for i in 0..self.buckets.len().saturating_sub(1) {
+            let senders: Vec<(NodeId, Payload)> = self.buckets[i]
+                .iter()
+                .filter(|&&v| has[v])
+                .map(|&v| (v, Payload))
+                .collect();
+            let receivers: Vec<NodeId> = self.buckets[i + 1]
+                .iter()
+                .copied()
+                .filter(|&v| !has[v])
+                .collect();
+            for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
+                has[v] = true;
+            }
+        }
+    }
+
+    fn all(&self, sim: &mut Sim, has: &mut [bool], rngs: &mut NodeRngs) {
+        let n = has.len();
+        let senders: Vec<(NodeId, Payload)> =
+            (0..n).filter(|&v| has[v]).map(|v| (v, Payload)).collect();
+        let receivers: Vec<NodeId> = (0..n).filter(|&v| !has[v]).collect();
+        for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
+            has[v] = true;
+        }
+    }
+
+    fn up(&self, sim: &mut Sim, has: &mut [bool], rngs: &mut NodeRngs) {
+        for i in (1..self.buckets.len()).rev() {
+            let senders: Vec<(NodeId, Payload)> = self.buckets[i]
+                .iter()
+                .filter(|&&v| has[v])
+                .map(|&v| (v, Payload))
+                .collect();
+            let receivers: Vec<NodeId> = self.buckets[i - 1]
+                .iter()
+                .copied()
+                .filter(|&v| !has[v])
+                .collect();
+            for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
+                has[v] = true;
+            }
+        }
+    }
+}
+
+/// Broadcast given a good labeling (Lemma 10).
+///
+/// `layer_bound` is the public bound `L` on the number of layers
+/// (`n` in the §5 algorithms); `d_bound` upper-bounds the diameter of
+/// `G_L` (0 when there is a single layer-0 vertex). The protocol is:
+/// Up-cast, then `d_bound` repetitions of (Down-cast, All-cast, Up-cast),
+/// then a final Down-cast.
+///
+/// # Panics
+///
+/// Panics if `layer_bound == 0`, or (debug builds) if `labeling` is not
+/// good for the simulation graph.
+pub fn broadcast_with_labeling(
+    sim: &mut Sim,
+    labeling: &Labeling,
+    source: NodeId,
+    layer_bound: u32,
+    d_bound: u32,
+    sr: &Sr,
+    rngs: &mut NodeRngs,
+) -> BroadcastOutcome {
+    assert!(layer_bound >= 1);
+    debug_assert!(labeling.is_good(sim.graph()));
+    let n = labeling.n();
+    let caster = PayloadCaster {
+        buckets: layer_buckets(labeling, layer_bound),
+        sr,
+    };
+    let mut has = vec![false; n];
+    has[source] = true;
+    caster.up(sim, &mut has, rngs);
+    for _ in 0..d_bound {
+        caster.down(sim, &mut has, rngs);
+        caster.all(sim, &mut has, rngs);
+        caster.up(sim, &mut has, rngs);
+    }
+    caster.down(sim, &mut has, rngs);
+    BroadcastOutcome {
+        informed: has,
+        source,
+    }
+}
+
+/// Computes a new good labeling `L′` from `L` (§5).
+///
+/// 1. Each layer-0 vertex adopts `L′ = 0` independently with probability
+///    `p` (private randomness from `coin_rngs`).
+/// 2. `s` repetitions of (Down-cast, All-cast, Up-cast) over the *old*
+///    layers, transmitting `L′` labels: an unlabelled vertex receiving `m`
+///    adopts `L′ = m + 1`.
+/// 3. A final Down-cast; unlabelled vertices retain their old label.
+///
+/// With all SR rounds succeeding, the result is a good labeling in which
+/// each old layer-0 vertex remains layer-0 with probability at most
+/// `p + (1−p)^{min(s+1,w)}` (`w` = #old roots), and no new roots appear.
+pub fn relabel(
+    sim: &mut Sim,
+    labeling: &Labeling,
+    p: f64,
+    s: u32,
+    layer_bound: u32,
+    sr: &Sr,
+    rngs: &mut NodeRngs,
+    coin_rngs: &mut NodeRngs,
+) -> Labeling {
+    use rand::Rng;
+    assert!((0.0..=1.0).contains(&p));
+    let n = labeling.n();
+    let mut newl: Vec<Option<u32>> = vec![None; n];
+    for v in 0..n {
+        if labeling.label(v) == 0 && coin_rngs.get(v).gen_bool(p) {
+            newl[v] = Some(0);
+        }
+    }
+    relabel_from(sim, labeling, newl, s, layer_bound, sr, rngs)
+}
+
+/// The deterministic variant used by Appendix A: the new layer-0 set is
+/// given explicitly (a ruling set of `G_L`) instead of coin flips.
+pub fn relabel_from_roots(
+    sim: &mut Sim,
+    labeling: &Labeling,
+    roots: &[NodeId],
+    s: u32,
+    layer_bound: u32,
+    sr: &Sr,
+    rngs: &mut NodeRngs,
+) -> Labeling {
+    let n = labeling.n();
+    let mut newl: Vec<Option<u32>> = vec![None; n];
+    for &r in roots {
+        debug_assert_eq!(labeling.label(r), 0, "roots must be old layer-0 vertices");
+        newl[r] = Some(0);
+    }
+    relabel_from(sim, labeling, newl, s, layer_bound, sr, rngs)
+}
+
+fn relabel_from(
+    sim: &mut Sim,
+    labeling: &Labeling,
+    mut newl: Vec<Option<u32>>,
+    s: u32,
+    layer_bound: u32,
+    sr: &Sr,
+    rngs: &mut NodeRngs,
+) -> Labeling {
+    assert!(layer_bound >= 1);
+    let n = labeling.n();
+    let buckets = layer_buckets(labeling, layer_bound);
+    let down = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
+        for i in 0..buckets.len().saturating_sub(1) {
+            let senders: Vec<(NodeId, u32)> = buckets[i]
+                .iter()
+                .filter_map(|&v| newl[v].map(|m| (v, m)))
+                .collect();
+            let receivers: Vec<NodeId> = buckets[i + 1]
+                .iter()
+                .copied()
+                .filter(|&v| newl[v].is_none())
+                .collect();
+            for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
+                newl[v] = Some(m + 1);
+            }
+        }
+    };
+    let all = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
+        let senders: Vec<(NodeId, u32)> = (0..n)
+            .filter_map(|v| newl[v].map(|m| (v, m)))
+            .collect();
+        let receivers: Vec<NodeId> = (0..n).filter(|&v| newl[v].is_none()).collect();
+        for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
+            newl[v] = Some(m + 1);
+        }
+    };
+    let up = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
+        for i in (1..buckets.len()).rev() {
+            let senders: Vec<(NodeId, u32)> = buckets[i]
+                .iter()
+                .filter_map(|&v| newl[v].map(|m| (v, m)))
+                .collect();
+            let receivers: Vec<NodeId> = buckets[i - 1]
+                .iter()
+                .copied()
+                .filter(|&v| newl[v].is_none())
+                .collect();
+            for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
+                newl[v] = Some(m + 1);
+            }
+        }
+    };
+    for _ in 0..s {
+        down(sim, &mut newl, rngs);
+        all(sim, &mut newl, rngs);
+        up(sim, &mut newl, rngs);
+    }
+    down(sim, &mut newl, rngs);
+    Labeling::from_labels(
+        (0..n)
+            .map(|v| newl[v].unwrap_or_else(|| labeling.label(v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebc_graphs::deterministic::{cycle, path};
+    use ebc_radio::{Model, Sim};
+
+    fn setup(g: ebc_radio::Graph, model: Model, seed: u64) -> (Sim, NodeRngs, NodeRngs) {
+        let n = g.n();
+        (
+            Sim::new(g, model, seed),
+            NodeRngs::new(seed, n, 10),
+            NodeRngs::new(seed, n, 11),
+        )
+    }
+
+    #[test]
+    fn broadcast_single_root_path_local() {
+        let g = path(8);
+        let (mut sim, mut rngs, _) = setup(g, Model::Local, 1);
+        let l = Labeling::from_labels((0..8).map(|v| v as u32).collect());
+        let out = broadcast_with_labeling(&mut sim, &l, 3, 8, 0, &Sr::Local, &mut rngs);
+        assert!(out.all_informed());
+    }
+
+    #[test]
+    fn broadcast_single_root_nocd_decay() {
+        let g = path(8);
+        let (mut sim, mut rngs, _) = setup(g, Model::NoCd, 2);
+        let l = Labeling::from_labels((0..8).map(|v| v as u32).collect());
+        let sr = Sr::Decay { delta: 2, sweeps: 12 };
+        let out = broadcast_with_labeling(&mut sim, &l, 7, 8, 0, &sr, &mut rngs);
+        assert!(out.all_informed());
+    }
+
+    #[test]
+    fn broadcast_multi_root_needs_dbound() {
+        // 4 clusters on a cycle of 8; G_L is a 4-cycle with diameter 2.
+        let g = cycle(8);
+        let l = Labeling::from_labels(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let (mut sim, mut rngs, _) = setup(g, Model::Local, 3);
+        let out = broadcast_with_labeling(&mut sim, &l, 0, 8, 2, &Sr::Local, &mut rngs);
+        assert!(out.all_informed());
+    }
+
+    #[test]
+    fn broadcast_insufficient_dbound_fails_on_local() {
+        // With d_bound = 0 on the 4-cluster cycle, distant clusters cannot
+        // be reached (deterministic in LOCAL).
+        let g = cycle(8);
+        let l = Labeling::from_labels(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let (mut sim, mut rngs, _) = setup(g, Model::Local, 3);
+        let out = broadcast_with_labeling(&mut sim, &l, 0, 8, 0, &Sr::Local, &mut rngs);
+        assert!(!out.all_informed());
+    }
+
+    #[test]
+    fn relabel_keeps_goodness_and_shrinks_roots() {
+        let g = cycle(16);
+        let (mut sim, mut rngs, mut coins) = setup(g.clone(), Model::Local, 4);
+        let mut l = Labeling::all_zero(16);
+        for _ in 0..10 {
+            let l2 = relabel(&mut sim, &l, 0.5, 1, 16, &Sr::Local, &mut rngs, &mut coins);
+            assert!(l2.is_good(&g), "not good: {:?}", l2.labels());
+            assert!(l2.layer0_count() <= l.layer0_count());
+            l = l2;
+        }
+        assert_eq!(l.layer0_count(), 1, "roots: {:?}", l.layer0());
+    }
+
+    #[test]
+    fn relabel_never_creates_new_roots() {
+        let g = path(12);
+        let (mut sim, mut rngs, mut coins) = setup(g.clone(), Model::Local, 5);
+        let l = Labeling::all_zero(12);
+        let l2 = relabel(&mut sim, &l, 0.3, 2, 12, &Sr::Local, &mut rngs, &mut coins);
+        for v in 0..12 {
+            if l.label(v) != 0 {
+                assert_ne!(l2.label(v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_with_decay_nocd() {
+        let g = cycle(12);
+        let (mut sim, mut rngs, mut coins) = setup(g.clone(), Model::NoCd, 6);
+        let sr = Sr::Decay { delta: 2, sweeps: 15 };
+        let mut l = Labeling::all_zero(12);
+        for _ in 0..12 {
+            l = relabel(&mut sim, &l, 0.5, 1, 12, &sr, &mut rngs, &mut coins);
+            assert!(l.is_good(&g));
+        }
+        assert!(l.layer0_count() <= 2, "roots = {}", l.layer0_count());
+    }
+
+    #[test]
+    fn time_accounts_for_empty_rounds() {
+        // With layer bound 8 on an all-zero labeling, a relabel sweep still
+        // clocks the full public schedule: (8-1) down + 1 all + 7 up + 7
+        // final-down rounds of 1 slot each in LOCAL.
+        let g = path(4);
+        let (mut sim, mut rngs, mut coins) = setup(g, Model::Local, 7);
+        let l = Labeling::all_zero(4);
+        let before = sim.now();
+        relabel(&mut sim, &l, 0.5, 1, 8, &Sr::Local, &mut rngs, &mut coins);
+        assert_eq!(sim.now() - before, 7 + 1 + 7 + 7);
+    }
+}

@@ -1,0 +1,337 @@
+//! Theorem 25: deterministic broadcast in the LOCAL model.
+//!
+//! The iterative-clustering skeleton of §5 with deterministic ingredients:
+//! the new layer-0 sets are `(3, 2 log N)`-ruling sets of the cluster graph
+//! `G_L`, computed by the parallel prefix recursion of Awerbuch et al. \[3\].
+//! One round of `G_L` is simulated by flooding token sets down the layers,
+//! across one edge exchange, and back up (`O(1)` energy per vertex,
+//! `O(layer bound)` slots) — LOCAL delivers every message, so the floods
+//! are exact and the whole algorithm is deterministic.
+
+use ebc_radio::{Model, NodeId, Sim};
+
+use crate::cast::{broadcast_with_labeling, relabel_from_roots};
+use crate::labeling::Labeling;
+use crate::srcomm::{local_gather, Sr};
+use crate::util::{ceil_log2, NodeRngs};
+use crate::BroadcastOutcome;
+
+/// One `G_L` flood round: every layer-0 vertex `r` starts with token set
+/// `seed(r)`; afterwards each layer-0 vertex holds the union of the seeds
+/// of its `G_L`-neighbors (and its own).
+///
+/// Down-flood along ascending-label paths, one boundary exchange, then an
+/// up-flood — exactly the paths that define `L`-adjacency (§5).
+pub fn gl_flood_round(
+    sim: &mut Sim,
+    labeling: &Labeling,
+    layer_bound: u32,
+    seed: &[Vec<u32>],
+) -> Vec<Vec<u32>> {
+    let n = labeling.n();
+    let mut down: Vec<std::collections::BTreeSet<u32>> = (0..n)
+        .map(|v| {
+            if labeling.label(v) == 0 {
+                seed[v].iter().copied().collect()
+            } else {
+                Default::default()
+            }
+        })
+        .collect();
+    let buckets = buckets_of(labeling, layer_bound);
+    // Down-flood: layer i feeds layer i+1.
+    for i in 0..buckets.len().saturating_sub(1) {
+        let senders: Vec<(NodeId, Vec<u32>)> = buckets[i]
+            .iter()
+            .filter(|&&v| !down[v].is_empty())
+            .map(|&v| (v, down[v].iter().copied().collect()))
+            .collect();
+        let receivers: Vec<NodeId> = buckets[i + 1].clone();
+        let got = local_gather(sim, &senders, &receivers);
+        for (v, msgs) in receivers.into_iter().zip(got) {
+            for m in msgs {
+                down[v].extend(m);
+            }
+        }
+    }
+    // Boundary exchange: everyone hears all neighbors' reach-sets.
+    let senders: Vec<(NodeId, Vec<u32>)> = (0..n)
+        .filter(|&v| !down[v].is_empty())
+        .map(|v| (v, down[v].iter().copied().collect()))
+        .collect();
+    let receivers: Vec<NodeId> = (0..n).collect();
+    let got = local_gather(sim, &senders, &receivers);
+    let mut acc: Vec<std::collections::BTreeSet<u32>> = got
+        .into_iter()
+        .map(|msgs| msgs.into_iter().flatten().collect())
+        .collect();
+    // Up-flood: layer i feeds layer i−1.
+    for i in (1..buckets.len()).rev() {
+        let senders: Vec<(NodeId, Vec<u32>)> = buckets[i]
+            .iter()
+            .filter(|&&v| !acc[v].is_empty())
+            .map(|&v| (v, acc[v].iter().copied().collect()))
+            .collect();
+        let receivers: Vec<NodeId> = buckets[i - 1].clone();
+        let got = local_gather(sim, &senders, &receivers);
+        for (v, msgs) in receivers.into_iter().zip(got) {
+            for m in msgs {
+                acc[v].extend(m);
+            }
+        }
+    }
+    (0..n)
+        .map(|v| {
+            if labeling.label(v) == 0 {
+                acc[v].iter().copied().collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect()
+}
+
+fn buckets_of(labeling: &Labeling, layer_bound: u32) -> Vec<Vec<NodeId>> {
+    let lb = layer_bound.max(1) as usize;
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); lb];
+    for v in 0..labeling.n() {
+        buckets[(labeling.label(v) as usize).min(lb - 1)].push(v);
+    }
+    buckets
+}
+
+/// Computes a `(3, 2⌈log₂ N⌉)`-ruling set of `G_L` by the parallel AGLP
+/// prefix recursion: at each of the `⌈log₂ N⌉` levels, sibling ID-prefix
+/// classes merge — the 1-side keeps only members at `G_L`-distance ≥ 3
+/// from the 0-side, checked with two exact flood rounds.
+///
+/// `ids[v] ∈ {1, …, N}` must be distinct. Returns the surviving layer-0
+/// vertices.
+pub fn gl_ruling_set(
+    sim: &mut Sim,
+    labeling: &Labeling,
+    ids: &[u64],
+    id_space: u64,
+    layer_bound: u32,
+) -> Vec<NodeId> {
+    let n = labeling.n();
+    let bits = ceil_log2((id_space + 1) as usize).max(1);
+    let mut alive: Vec<bool> = (0..n).map(|v| labeling.label(v) == 0).collect();
+    // Merge prefix classes from the least significant bit up: after step j,
+    // classes are ID prefixes of length bits − j − 1.
+    for j in 0..bits {
+        let prefix_of = |v: NodeId| -> u32 { (ids[v] >> (j + 1)) as u32 };
+        let side_of = |v: NodeId| -> u64 { (ids[v] >> j) & 1 };
+        // Flood 1: 0-side alive roots announce their (merged) class prefix.
+        let seed1: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                if alive[v] && side_of(v) == 0 {
+                    vec![prefix_of(v)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let heard1 = gl_flood_round(sim, labeling, layer_bound, &seed1);
+        // Flood 2: everything heard propagates one more G_L hop.
+        let heard2 = gl_flood_round(sim, labeling, layer_bound, &heard1);
+        for v in 0..n {
+            if alive[v] && side_of(v) == 1 {
+                let p = prefix_of(v);
+                if heard1[v].contains(&p) || heard2[v].contains(&p) {
+                    alive[v] = false;
+                }
+            }
+        }
+    }
+    (0..n).filter(|&v| alive[v]).collect()
+}
+
+/// Parameters of the Theorem 25 driver.
+#[derive(Debug, Clone)]
+pub struct DetLocalConfig {
+    /// Distinct IDs per vertex in `{1, …, id_space}`; `None` → `v + 1`.
+    pub ids: Option<Vec<u64>>,
+    /// The ID space bound `N`.
+    pub id_space: Option<u64>,
+}
+
+impl Default for DetLocalConfig {
+    fn default() -> Self {
+        DetLocalConfig {
+            ids: None,
+            id_space: None,
+        }
+    }
+}
+
+/// Theorem 25: deterministic LOCAL broadcast in `O(n log n log N)` time
+/// with `O(log n log N)` energy.
+///
+/// # Panics
+///
+/// Panics if the model is not LOCAL or the IDs are invalid.
+pub fn broadcast_det_local(
+    sim: &mut Sim,
+    source: NodeId,
+    cfg: &DetLocalConfig,
+) -> BroadcastOutcome {
+    assert_eq!(sim.model(), Model::Local, "Theorem 25 is a LOCAL algorithm");
+    let n = sim.graph().n();
+    let ids: Vec<u64> = cfg
+        .ids
+        .clone()
+        .unwrap_or_else(|| (0..n).map(|v| v as u64 + 1).collect());
+    let id_space = cfg.id_space.unwrap_or(n as u64);
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &id in &ids {
+            assert!((1..=id_space).contains(&id), "ID {id} outside 1..={id_space}");
+            assert!(seen.insert(id), "duplicate ID {id}");
+        }
+    }
+    let layer_bound = n as u32;
+    // s = 2⌈log N⌉ + 2 relabeling sweeps cover the (3, 2 log N) domination
+    // radius; the floods are exact, so no repetition for failure is needed.
+    let s = 2 * ceil_log2((id_space + 1) as usize) + 2;
+    // LOCAL SR never uses randomness; the NodeRngs are inert.
+    let mut rngs = NodeRngs::new(sim.seed(), n, 0xde7);
+    let mut labeling = Labeling::all_zero(n);
+    let iters = ceil_log2(n.max(2)) + 1;
+    for _ in 0..iters {
+        let roots = gl_ruling_set(sim, &labeling, &ids, id_space, layer_bound);
+        labeling = relabel_from_roots(
+            sim,
+            &labeling,
+            &roots,
+            s,
+            layer_bound,
+            &Sr::Local,
+            &mut rngs,
+        );
+    }
+    broadcast_with_labeling(sim, &labeling, source, layer_bound, 1, &Sr::Local, &mut rngs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::is_ruling_set;
+    use ebc_graphs::deterministic::{cycle, grid, path};
+    use ebc_graphs::random::bounded_degree;
+
+    #[test]
+    fn flood_round_reaches_gl_neighbors() {
+        // Cycle of 8, 4 clusters: G_L is a 4-cycle.
+        let g = cycle(8);
+        let l = Labeling::from_labels(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let mut sim = Sim::new(g, Model::Local, 0);
+        let mut seed: Vec<Vec<u32>> = vec![Vec::new(); 8];
+        seed[0] = vec![99];
+        let out = gl_flood_round(&mut sim, &l, 8, &seed);
+        // Roots 2 and 6 are G_L-neighbors of 0; root 4 is not.
+        assert!(out[2].contains(&99));
+        assert!(out[6].contains(&99));
+        assert!(!out[4].contains(&99));
+    }
+
+    #[test]
+    fn ruling_set_is_3_2logn_on_trivial_labeling() {
+        // All-zero labeling: G_L = G.
+        for n in [16usize, 33] {
+            let g = cycle(n);
+            let mut sim = Sim::new(g.clone(), Model::Local, 0);
+            let l = Labeling::all_zero(n);
+            let ids: Vec<u64> = (0..n).map(|v| v as u64 + 1).collect();
+            let set = gl_ruling_set(&mut sim, &l, &ids, n as u64, n as u32);
+            assert!(!set.is_empty());
+            let beta = 2 * ceil_log2(n + 1);
+            assert!(
+                is_ruling_set(&g, &set, 3, beta),
+                "n={n}: {set:?} not a (3,{beta})-ruling set"
+            );
+        }
+    }
+
+    #[test]
+    fn ruling_set_halves_roots() {
+        let n = 32;
+        let g = cycle(n);
+        let mut sim = Sim::new(g, Model::Local, 0);
+        let l = Labeling::all_zero(n);
+        let ids: Vec<u64> = (0..n).map(|v| v as u64 + 1).collect();
+        let set = gl_ruling_set(&mut sim, &l, &ids, n as u64, n as u32);
+        assert!(set.len() <= n / 2, "|I| = {}", set.len());
+    }
+
+    #[test]
+    fn det_local_broadcast_informs_everyone() {
+        for (name, g) in [
+            ("path", path(24)),
+            ("cycle", cycle(25)),
+            ("grid", grid(5, 5)),
+            ("bounded", bounded_degree(30, 4, 1.5, 3)),
+        ] {
+            let mut sim = Sim::new(g, Model::Local, 7);
+            let out = broadcast_det_local(&mut sim, 0, &DetLocalConfig::default());
+            assert!(out.all_informed(), "{name}");
+        }
+    }
+
+    #[test]
+    fn det_local_is_deterministic() {
+        let g = grid(4, 4);
+        let run = |seed: u64| -> (bool, u64, u64) {
+            let mut sim = Sim::new(g.clone(), Model::Local, seed);
+            let out = broadcast_det_local(&mut sim, 2, &DetLocalConfig::default());
+            (out.all_informed(), sim.now(), sim.meter().max_energy())
+        };
+        // Different master seeds: identical behavior (no randomness used).
+        assert_eq!(run(1), run(999));
+    }
+
+    #[test]
+    fn det_local_respects_permuted_ids() {
+        let n = 16;
+        let g = cycle(n);
+        let mut ids: Vec<u64> = (0..n).map(|v| ((v * 7) % n) as u64 + 1).collect();
+        ids.rotate_left(3);
+        let mut sim = Sim::new(g, Model::Local, 0);
+        let cfg = DetLocalConfig {
+            ids: Some(ids),
+            id_space: Some(n as u64),
+        };
+        let out = broadcast_det_local(&mut sim, 5, &cfg);
+        assert!(out.all_informed());
+    }
+
+    #[test]
+    fn det_local_energy_scales_polylogarithmically() {
+        // O(log n log N) with modest constants: compare n=32 vs n=128 —
+        // energy should grow far slower than n.
+        let e = |n: usize| -> u64 {
+            let g = cycle(n);
+            let mut sim = Sim::new(g, Model::Local, 1);
+            broadcast_det_local(&mut sim, 0, &DetLocalConfig::default());
+            sim.meter().max_energy()
+        };
+        let e32 = e(32);
+        let e128 = e(128);
+        assert!(
+            (e128 as f64) < 3.0 * e32 as f64,
+            "energy jumped {e32} → {e128}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ID")]
+    fn rejects_duplicate_ids() {
+        let g = path(4);
+        let mut sim = Sim::new(g, Model::Local, 0);
+        let cfg = DetLocalConfig {
+            ids: Some(vec![1, 2, 2, 4]),
+            id_space: Some(8),
+        };
+        broadcast_det_local(&mut sim, 0, &cfg);
+    }
+}

@@ -1,0 +1,260 @@
+//! Good labelings (paper §5): the layered-clustering representation.
+//!
+//! A labeling `L : V → {0, …, n−1}` is *good* if every vertex `v` with
+//! `L(v) > 0` has a neighbor `u` with `L(u) = L(v) − 1`. A good labeling
+//! encodes a clustering: following parents (any neighbor one layer down)
+//! from each vertex reaches a layer-0 vertex, the root of its cluster.
+//!
+//! The derived graph `G_L` has the layer-0 vertices as nodes, two being
+//! adjacent if a label-ascending path from each meets in an edge — the
+//! "cluster graph" whose diameter controls the broadcast cost (Lemma 10).
+
+use ebc_radio::{Graph, NodeId};
+
+/// A vertex labeling, intended to satisfy the *good* property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<u32>,
+}
+
+impl Labeling {
+    /// The trivial all-zero labeling (every vertex its own cluster root) —
+    /// the starting point of the iterative algorithms.
+    pub fn all_zero(n: usize) -> Self {
+        Labeling { labels: vec![0; n] }
+    }
+
+    /// Wraps explicit labels.
+    pub fn from_labels(labels: Vec<u32>) -> Self {
+        Labeling { labels }
+    }
+
+    /// The number of labelled vertices.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label (layer) of `v`.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v]
+    }
+
+    /// Sets the label of `v`.
+    pub fn set(&mut self, v: NodeId, l: u32) {
+        self.labels[v] = l;
+    }
+
+    /// All labels, indexed by vertex.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The largest label in use.
+    pub fn max_label(&self) -> u32 {
+        self.labels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The layer-0 vertices (cluster roots).
+    pub fn layer0(&self) -> Vec<NodeId> {
+        (0..self.labels.len())
+            .filter(|&v| self.labels[v] == 0)
+            .collect()
+    }
+
+    /// The number of layer-0 vertices.
+    pub fn layer0_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == 0).count()
+    }
+
+    /// Whether the labeling is *good* for `g`: every positive-label vertex
+    /// has a neighbor exactly one layer below.
+    pub fn is_good(&self, g: &Graph) -> bool {
+        (0..g.n()).all(|v| {
+            let l = self.labels[v];
+            l == 0 || g.neighbors(v).any(|u| self.labels[u] + 1 == l)
+        })
+    }
+
+    /// Builds the cluster graph `G_L` on the layer-0 vertices.
+    ///
+    /// Two roots `u, v` are `L`-adjacent if there is a path
+    /// `(u, u_1, …, u_a, v_b, …, v_1, v)` with `L(u_i) = i` and
+    /// `L(v_j) = j` (paper §5). Returns the graph together with the map
+    /// from `G_L` indices back to original vertex ids.
+    ///
+    /// Intended for analysis and tests; `O(m · w²/64)` with `w` roots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeling is not good for `g`.
+    pub fn gl_graph(&self, g: &Graph) -> (Graph, Vec<NodeId>) {
+        assert!(self.is_good(g), "G_L is defined for good labelings only");
+        let roots = self.layer0();
+        let w = roots.len();
+        let words = w.div_ceil(64).max(1);
+        // reach[v] = bitset of roots r such that v lies on a label-ascending
+        // path from r (L-values 0,1,2,… along the path).
+        let mut reach = vec![vec![0u64; words]; g.n()];
+        for (i, &r) in roots.iter().enumerate() {
+            reach[r][i / 64] |= 1 << (i % 64);
+        }
+        let mut order: Vec<NodeId> = (0..g.n()).collect();
+        order.sort_by_key(|&v| self.labels[v]);
+        for &v in &order {
+            let lv = self.labels[v];
+            if lv == 0 {
+                continue;
+            }
+            let mut acc = vec![0u64; words];
+            for u in g.neighbors(v) {
+                if self.labels[u] + 1 == lv {
+                    for (a, b) in acc.iter_mut().zip(&reach[u]) {
+                        *a |= *b;
+                    }
+                }
+            }
+            reach[v] = acc;
+        }
+        // Roots u, v are L-adjacent iff some edge (x, y) has u ∈ reach[x]
+        // and v ∈ reach[y].
+        let mut adj = vec![vec![0u64; words]; w];
+        for x in 0..g.n() {
+            for y in g.neighbors(x) {
+                if x > y {
+                    continue;
+                }
+                for i in 0..w {
+                    if reach[x][i / 64] >> (i % 64) & 1 == 1 {
+                        for (a, b) in adj[i].iter_mut().zip(&reach[y]) {
+                            *a |= *b;
+                        }
+                    }
+                    if reach[y][i / 64] >> (i % 64) & 1 == 1 {
+                        for (a, b) in adj[i].iter_mut().zip(&reach[x]) {
+                            *a |= *b;
+                        }
+                    }
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        for i in 0..w {
+            for j in i + 1..w {
+                if adj[i][j / 64] >> (j % 64) & 1 == 1 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let gl = Graph::from_edges(w.max(1), &edges).expect("valid G_L");
+        (gl, roots)
+    }
+
+    /// The diameter of `G_L` (for analysis; `None` if `G_L` disconnected).
+    pub fn gl_diameter(&self, g: &Graph) -> Option<u32> {
+        let (gl, _) = self.gl_graph(g);
+        gl.diameter_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebc_graphs::deterministic::{cycle, path, star};
+
+    #[test]
+    fn all_zero_is_good() {
+        let g = path(5);
+        let l = Labeling::all_zero(5);
+        assert!(l.is_good(&g));
+        assert_eq!(l.layer0_count(), 5);
+        assert_eq!(l.max_label(), 0);
+    }
+
+    #[test]
+    fn bfs_labeling_is_good() {
+        let g = path(5);
+        let l = Labeling::from_labels(vec![0, 1, 2, 3, 4]);
+        assert!(l.is_good(&g));
+        assert_eq!(l.layer0_count(), 1);
+    }
+
+    #[test]
+    fn gap_labeling_is_not_good() {
+        let g = path(3);
+        let l = Labeling::from_labels(vec![0, 2, 1]);
+        assert!(!l.is_good(&g));
+    }
+
+    #[test]
+    fn star_labelings() {
+        let g = star(4);
+        let l = Labeling::from_labels(vec![0, 1, 1, 1, 1]);
+        assert!(l.is_good(&g));
+        // Hub labelled 1 whose neighbors are all 0 is good...
+        let hub1 = Labeling::from_labels(vec![1, 0, 0, 0, 0]);
+        assert!(hub1.is_good(&g));
+        // ...but labelled 2 it has no layer-1 neighbor.
+        let hub2 = Labeling::from_labels(vec![2, 0, 0, 0, 0]);
+        assert!(!hub2.is_good(&g));
+    }
+
+    #[test]
+    fn gl_of_all_zero_is_original_graph() {
+        let g = cycle(6);
+        let l = Labeling::all_zero(6);
+        let (gl, roots) = l.gl_graph(&g);
+        assert_eq!(gl.n(), 6);
+        assert_eq!(gl.m(), 6);
+        assert_eq!(roots, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn gl_single_root_has_no_edges() {
+        let g = path(5);
+        let l = Labeling::from_labels(vec![0, 1, 2, 3, 4]);
+        let (gl, roots) = l.gl_graph(&g);
+        assert_eq!(gl.n(), 1);
+        assert_eq!(gl.m(), 0);
+        assert_eq!(roots, vec![0]);
+    }
+
+    #[test]
+    fn gl_two_clusters_on_path() {
+        // Path of 6: roots at 0 and 5, ascending toward the middle.
+        let g = path(6);
+        let l = Labeling::from_labels(vec![0, 1, 2, 2, 1, 0]);
+        assert!(l.is_good(&g));
+        let (gl, roots) = l.gl_graph(&g);
+        assert_eq!(roots, vec![0, 5]);
+        // The middle edge (2,3) connects ascending paths from both roots.
+        assert_eq!(gl.m(), 1);
+        assert!(gl.has_edge(0, 1));
+    }
+
+    #[test]
+    fn gl_adjacency_via_middle_edge() {
+        let g = path(4);
+        let l = Labeling::from_labels(vec![0, 1, 1, 0]);
+        let (gl, _) = l.gl_graph(&g);
+        assert_eq!(gl.m(), 1);
+    }
+
+    #[test]
+    fn gl_diameter_on_cycle_clusters() {
+        // Cycle of 8 with 4 roots at even positions, odd vertices layer 1.
+        let g = cycle(8);
+        let l = Labeling::from_labels(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(l.is_good(&g));
+        let d = l.gl_diameter(&g).unwrap();
+        assert_eq!(d, 2); // G_L is a 4-cycle
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut l = Labeling::all_zero(3);
+        l.set(1, 7);
+        assert_eq!(l.label(1), 7);
+        assert_eq!(l.max_label(), 7);
+        assert_eq!(l.labels(), &[0, 7, 0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Energy-efficient Broadcast in multi-hop radio networks.
+//!
+//! This crate implements every algorithm of *The Energy Complexity of
+//! Broadcast* (Chang, Dani, Hayes, He, Li, Pettie — PODC 2018) on the
+//! [`ebc_radio`] simulator:
+//!
+//! | Paper artifact | Module |
+//! |----------------|--------|
+//! | SR-communication: decay (Lem. 7), CD transformation (Lem. 8), deterministic (Lem. 24) | [`srcomm`] |
+//! | LOCAL simulation in No-CD: Learn-Degree, Two-Hop-Coloring, TDMA (Thm. 3) | [`localsim`] |
+//! | Good labelings, Down/All/Up-cast, Broadcast-from-labeling (Lem. 10) | [`labeling`], [`cast`] |
+//! | Iterative relabeling broadcast (Thms. 11, 12; Cor. 13) | [`randomized`] |
+//! | Partition(β) and the `O(D^{1+ε})`-time algorithm (§6, Thm. 16) | [`cluster`] |
+//! | The improved CD algorithm (§7, Thm. 20) | [`cdfast`] |
+//! | The path algorithm (§8, Alg. 1, Thm. 21) | [`path`] |
+//! | Deterministic broadcast via ruling sets (App. A, Thms. 25, 27) | [`det`] |
+//! | Baselines: naive flood, BGI decay broadcast | [`baseline`] |
+//! | The Theorem 2 lower-bound reduction, executable | [`reduction`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ebc_core::randomized::{broadcast_theorem11, Theorem11Config};
+//! use ebc_graphs::random::bounded_degree;
+//! use ebc_radio::{Model, Sim};
+//!
+//! let g = bounded_degree(64, 4, 1.5, 7);
+//! let mut sim = Sim::new(g, Model::NoCd, 42);
+//! let out = broadcast_theorem11(&mut sim, 0, &Theorem11Config::default());
+//! assert!(out.all_informed());
+//! println!("time = {} slots, max energy = {}", sim.now(), sim.meter().max_energy());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cast;
+pub mod cdfast;
+pub mod cluster;
+pub mod det;
+pub mod labeling;
+pub mod localsim;
+pub mod path;
+pub mod randomized;
+pub mod reduction;
+pub mod srcomm;
+pub mod util;
+
+pub use ebc_radio::{Action, EnergyMeter, Feedback, Graph, Model, NodeId, Sim, Slot};
+
+/// The outcome of a broadcast run: which vertices ended up informed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// `informed[v]` is `true` iff `v` knows the message.
+    pub informed: Vec<bool>,
+    /// The source vertex.
+    pub source: NodeId,
+}
+
+impl BroadcastOutcome {
+    /// Whether every vertex was informed — the broadcast correctness
+    /// criterion.
+    pub fn all_informed(&self) -> bool {
+        self.informed.iter().all(|&b| b)
+    }
+
+    /// The number of informed vertices.
+    pub fn count(&self) -> usize {
+        self.informed.iter().filter(|&&b| b).count()
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the algorithm implementations.
+
+use ebc_radio::rng::node_rng;
+use ebc_radio::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One private RNG per device, derived from a master seed and a logical
+/// stream tag so different algorithm phases get independent randomness.
+#[derive(Debug)]
+pub struct NodeRngs {
+    rngs: Vec<SmallRng>,
+}
+
+impl NodeRngs {
+    /// RNGs for `n` devices under `(seed, stream)`.
+    pub fn new(seed: u64, n: usize, stream: u64) -> Self {
+        NodeRngs {
+            rngs: (0..n).map(|v| node_rng(seed, v, stream)).collect(),
+        }
+    }
+
+    /// The RNG of device `v`.
+    pub fn get(&mut self, v: NodeId) -> &mut SmallRng {
+        &mut self.rngs[v]
+    }
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`, with `ceil_log2(1) = 0`.
+pub fn ceil_log2(x: usize) -> u32 {
+    assert!(x >= 1);
+    usize::BITS - (x - 1).leading_zeros()
+}
+
+/// Samples `Exponential(β)` (rate `β`, mean `1/β`) by inversion.
+pub fn sample_exponential(rng: &mut impl Rng, beta: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebc_radio::rng::node_rng;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn node_rngs_are_independent_and_stable() {
+        let mut a = NodeRngs::new(1, 4, 9);
+        let mut b = NodeRngs::new(1, 4, 9);
+        let x: u64 = a.get(2).gen();
+        let y: u64 = b.get(2).gen();
+        assert_eq!(x, y);
+        let z: u64 = b.get(3).gen();
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_inverse_rate() {
+        let mut rng = node_rng(5, 0, 0);
+        let beta = 0.25;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, beta)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.3, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = node_rng(6, 0, 0);
+        for _ in 0..1000 {
+            assert!(sample_exponential(&mut rng, 1.0) >= 0.0);
+        }
+    }
+}

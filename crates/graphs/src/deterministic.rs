@@ -1,0 +1,333 @@
+//! Deterministic topology families.
+
+use ebc_radio::Graph;
+
+/// The path `v_0 — v_1 — … — v_{n-1}` (paper §2, §8). Diameter `n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("valid path")
+}
+
+/// The cycle on `n ≥ 3` vertices. Diameter `⌊n/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges).expect("valid cycle")
+}
+
+/// The complete graph (single-hop network). Diameter 1 for `n ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid clique")
+}
+
+/// A star: hub `0` joined to `leaves` leaves. `Δ = leaves`.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+pub fn star(leaves: usize) -> Graph {
+    assert!(leaves >= 1, "star needs at least one leaf");
+    let edges: Vec<_> = (1..=leaves).map(|v| (0, v)).collect();
+    Graph::from_edges(leaves + 1, &edges).expect("valid star")
+}
+
+/// The paper's Theorem 2 gadget `G_k ≅ K_{2,k}`: source `s = 0` and sink
+/// `t = 1`, each adjacent to middle vertices `2..k+2`.
+///
+/// Broadcast from `s` on this family reduces to single-hop LeaderElection
+/// among the middles, which yields the paper's energy lower bounds.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn k2k(k: usize) -> Graph {
+    assert!(k >= 1, "K_{{2,k}} needs k >= 1");
+    let mut edges = Vec::with_capacity(2 * k);
+    for m in 0..k {
+        edges.push((0, 2 + m));
+        edges.push((1, 2 + m));
+    }
+    Graph::from_edges(k + 2, &edges).expect("valid K_{2,k}")
+}
+
+/// The complete bipartite graph `K_{a,b}`; sides are `0..a` and `a..a+b`.
+///
+/// # Panics
+///
+/// Panics if `a == 0` or `b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a >= 1 && b >= 1);
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u, a + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("valid K_{a,b}")
+}
+
+/// A `w × h` grid; vertex `(x, y)` is index `y*w + x`. `Δ ≤ 4`,
+/// diameter `w + h - 2`.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `h == 0`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w >= 1 && h >= 1);
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < h {
+                edges.push((v, v + w));
+            }
+        }
+    }
+    Graph::from_edges(w * h, &edges).expect("valid grid")
+}
+
+/// A ladder (2 × `len` grid): diameter `len`, `Δ = 3`. Useful when the
+/// experiments need `D = Θ(n)` with constant degree but more interesting
+/// structure than a path.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn ladder(len: usize) -> Graph {
+    grid(len, 2)
+}
+
+/// A complete `arity`-ary tree of the given `depth` (root at 0).
+/// `n = (arity^{depth+1} - 1) / (arity - 1)` for `arity ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `arity < 2`.
+pub fn complete_tree(arity: usize, depth: u32) -> Graph {
+    assert!(arity >= 2, "complete_tree needs arity >= 2");
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        n += level;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        edges.push((v, (v - 1) / arity));
+    }
+    Graph::from_edges(n, &edges).expect("valid tree")
+}
+
+/// The `d`-dimensional hypercube: `n = 2^d`, diameter `d`, `Δ = d`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d >= 30`.
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d >= 1 && d < 30);
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid hypercube")
+}
+
+/// A caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
+/// `n = spine * (1 + legs)`; spine vertex `i` is index `i`, its legs follow
+/// the spine block.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut edges = Vec::new();
+    for i in 0..spine.saturating_sub(1) {
+        edges.push((i, i + 1));
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            edges.push((i, spine + i * legs + l));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid caterpillar")
+}
+
+/// A lollipop: a clique of `clique` vertices with a path of `tail` vertices
+/// hanging off vertex 0. Mixes high contention (the clique) with a long
+/// synchronization chain (the tail) — the two costs Theorems 1 and 2 tease
+/// apart.
+///
+/// # Panics
+///
+/// Panics if `clique < 2`.
+pub fn lollipop(clique: usize, tail: usize) -> Graph {
+    assert!(clique >= 2);
+    let n = clique + tail;
+    let mut edges = Vec::new();
+    for u in 0..clique {
+        for v in u + 1..clique {
+            edges.push((u, v));
+        }
+    }
+    for i in 0..tail {
+        let prev = if i == 0 { 0 } else { clique + i - 1 };
+        edges.push((prev, clique + i));
+    }
+    Graph::from_edges(n, &edges).expect("valid lollipop")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.diameter_exact(), Some(5));
+    }
+
+    #[test]
+    fn path_of_one() {
+        let g = path(1);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(7);
+        assert_eq!(g.m(), 7);
+        assert!((0..7).all(|v| g.degree(v) == 2));
+        assert_eq!(g.diameter_exact(), Some(3));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.m(), 10);
+        assert_eq!(g.diameter_exact(), Some(1));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.diameter_exact(), Some(2));
+    }
+
+    #[test]
+    fn k2k_matches_paper_gadget() {
+        let g = k2k(4);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 8);
+        // s and t are not adjacent.
+        assert!(!g.has_edge(0, 1));
+        // Every middle sees both s and t.
+        for m in 2..6 {
+            assert!(g.has_edge(0, m));
+            assert!(g.has_edge(1, m));
+            assert_eq!(g.degree(m), 2);
+        }
+        assert_eq!(g.diameter_exact(), Some(2));
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 4 * 2 + 3 * 3); // horizontal + vertical
+        assert_eq!(g.diameter_exact(), Some(5));
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn ladder_diameter() {
+        let g = ladder(10);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.diameter_exact(), Some(10));
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn complete_tree_shape() {
+        let g = complete_tree(2, 3);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+        assert_eq!(g.diameter_exact(), Some(4));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.n(), 20);
+        assert!(g.is_connected());
+        // Interior spine vertex: 2 spine neighbors + 3 legs.
+        assert_eq!(g.degree(2), 5);
+        // A leg is a leaf.
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 6);
+        assert_eq!(g.n(), 10);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(0), 4); // 3 clique + first tail vertex
+        assert_eq!(g.diameter_exact(), Some(7));
+    }
+}

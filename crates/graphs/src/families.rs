@@ -1,0 +1,180 @@
+//! Named, parameterized graph families for the benchmark harness.
+//!
+//! Each [`Family`] bundles a generator with the metadata benches need:
+//! a display name and, when known analytically, the diameter — so harnesses
+//! need not run `O(n²)` BFS sweeps on large instances.
+
+use ebc_radio::Graph;
+
+use crate::{deterministic, random};
+
+/// A named graph family, scalable in `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// `deterministic::path`.
+    Path,
+    /// `deterministic::cycle`.
+    Cycle,
+    /// `deterministic::ladder` (n/2 rungs).
+    Ladder,
+    /// Near-square grid with ~n vertices.
+    Grid,
+    /// Complete binary tree with ≥ n vertices.
+    BinaryTree,
+    /// `random::bounded_degree` with Δ ≤ 4.
+    BoundedDeg4,
+    /// `random::bounded_degree` with Δ ≤ 16.
+    BoundedDeg16,
+    /// `random::gnp_connected` with expected degree ≈ 8.
+    GnpAvgDeg8,
+    /// `random::cluster_chain` with blocks of 8.
+    ClusterChain8,
+    /// `deterministic::k2k` with k = n − 2 middles.
+    K2k,
+    /// `deterministic::star` (hub + n−1 leaves).
+    Star,
+}
+
+/// A generated instance plus its metadata.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Family display name.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// The diameter, if known analytically (else compute it).
+    pub diameter: Option<u32>,
+}
+
+impl Family {
+    /// The family's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::Ladder => "ladder",
+            Family::Grid => "grid",
+            Family::BinaryTree => "binary-tree",
+            Family::BoundedDeg4 => "bounded-deg-4",
+            Family::BoundedDeg16 => "bounded-deg-16",
+            Family::GnpAvgDeg8 => "gnp-avg-deg-8",
+            Family::ClusterChain8 => "cluster-chain-8",
+            Family::K2k => "K_{2,k}",
+            Family::Star => "star",
+        }
+    }
+
+    /// Generates an instance with approximately `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is too small for the family (all families accept
+    /// `n ≥ 8`).
+    pub fn instance(self, n: usize, seed: u64) -> Instance {
+        assert!(n >= 8, "families are defined for n >= 8");
+        let (graph, diameter) = match self {
+            Family::Path => (deterministic::path(n), Some(n as u32 - 1)),
+            Family::Cycle => (deterministic::cycle(n), Some(n as u32 / 2)),
+            Family::Ladder => {
+                let len = n / 2;
+                (deterministic::ladder(len), Some(len as u32))
+            }
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                (
+                    deterministic::grid(side, side),
+                    Some(2 * (side as u32 - 1)),
+                )
+            }
+            Family::BinaryTree => {
+                let depth = (n as f64).log2().ceil() as u32;
+                let g = deterministic::complete_tree(2, depth.saturating_sub(1).max(1));
+                (g, Some(2 * depth.saturating_sub(1).max(1)))
+            }
+            Family::BoundedDeg4 => (random::bounded_degree(n, 4, 1.5, seed), None),
+            Family::BoundedDeg16 => (random::bounded_degree(n, 16, 4.0, seed), None),
+            Family::GnpAvgDeg8 => {
+                let p = (8.0 / n as f64).min(1.0);
+                (random::gnp_connected(n, p, seed), None)
+            }
+            Family::ClusterChain8 => {
+                let blocks = (n / 8).max(1);
+                (random::cluster_chain(blocks, 8, seed), None)
+            }
+            Family::K2k => (deterministic::k2k(n - 2), Some(2)),
+            Family::Star => (deterministic::star(n - 1), Some(2)),
+        };
+        Instance {
+            name: self.name(),
+            graph,
+            diameter,
+        }
+    }
+}
+
+impl Instance {
+    /// The diameter: the known value, or computed exactly on demand.
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+            .unwrap_or_else(|| self.graph.diameter_exact().expect("connected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Family; 11] = [
+        Family::Path,
+        Family::Cycle,
+        Family::Ladder,
+        Family::Grid,
+        Family::BinaryTree,
+        Family::BoundedDeg4,
+        Family::BoundedDeg16,
+        Family::GnpAvgDeg8,
+        Family::ClusterChain8,
+        Family::K2k,
+        Family::Star,
+    ];
+
+    #[test]
+    fn every_family_generates_connected_instances() {
+        for fam in ALL {
+            let inst = fam.instance(64, 12345);
+            assert!(
+                inst.graph.is_connected(),
+                "{} disconnected at n=64",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn known_diameters_match_exact() {
+        for fam in ALL {
+            let inst = fam.instance(32, 7);
+            if let Some(d) = inst.diameter {
+                assert_eq!(
+                    d,
+                    inst.graph.diameter_exact().unwrap(),
+                    "family {}",
+                    fam.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instance_sizes_are_close_to_requested() {
+        for fam in ALL {
+            let inst = fam.instance(128, 3);
+            let n = inst.graph.n();
+            assert!(
+                n >= 64 && n <= 300,
+                "{}: n = {n} far from requested 128",
+                fam.name()
+            );
+        }
+    }
+}

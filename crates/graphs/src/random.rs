@@ -1,0 +1,209 @@
+//! Randomized topology families (seeded, reproducible).
+
+use ebc_radio::rng::node_rng;
+use ebc_radio::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random labelled tree on `n` vertices (random attachment to a
+/// random permutation — every vertex attaches to a uniformly random earlier
+/// vertex, then labels are shuffled). Connected by construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = node_rng(seed, 0, stream_tag(0));
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        edges.push((perm[i], perm[j]));
+    }
+    Graph::from_edges(n, &edges).expect("valid random tree")
+}
+
+/// An Erdős–Rényi `G(n, p)` conditioned on connectivity: samples each edge
+/// independently with probability `p`, then adds the edges of a random
+/// spanning tree so the result is always connected (a standard
+/// "connected G(n,p)" surrogate; for `p` above the connectivity threshold
+/// the added tree changes almost nothing).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = node_rng(seed, 1, stream_tag(1));
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    // Random spanning tree for connectivity.
+    let tree = random_tree(n, seed ^ 0x9e3779b97f4a7c15);
+    for u in 0..n {
+        for v in tree.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid gnp")
+}
+
+/// A random connected graph with maximum degree at most `max_deg`: starts
+/// from a random Hamiltonian-path backbone (degree ≤ 2) and adds random
+/// extra edges subject to the degree cap.
+///
+/// `extra_edge_factor` controls density: the generator attempts
+/// `extra_edge_factor * n` additional edges.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_deg < 2`.
+pub fn bounded_degree(n: usize, max_deg: usize, extra_edge_factor: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(max_deg >= 2, "need max_deg >= 2 for a connected backbone");
+    let mut rng = node_rng(seed, 2, stream_tag(2));
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut deg = vec![0usize; n];
+    let mut edges = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for w in perm.windows(2) {
+        edges.push((w[0], w[1]));
+        seen.insert((w[0].min(w[1]), w[0].max(w[1])));
+        deg[w[0]] += 1;
+        deg[w[1]] += 1;
+    }
+    let attempts = (extra_edge_factor * n as f64) as usize;
+    for _ in 0..attempts {
+        if n < 2 {
+            break;
+        }
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let key = (u.min(v), u.max(v));
+        if u != v && deg[u] < max_deg && deg[v] < max_deg && !seen.contains(&key) {
+            edges.push((u, v));
+            seen.insert(key);
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid bounded-degree graph")
+}
+
+/// A "cluster chain": `blocks` cliques of size `block_size`, consecutive
+/// cliques joined by a single bridge edge. High local contention with
+/// diameter `Θ(blocks)` — a stress case for clustering-based broadcast.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or `block_size < 2`.
+pub fn cluster_chain(blocks: usize, block_size: usize, seed: u64) -> Graph {
+    assert!(blocks >= 1 && block_size >= 2);
+    let mut rng = node_rng(seed, 3, stream_tag(3));
+    let n = blocks * block_size;
+    let mut edges = Vec::new();
+    for b in 0..blocks {
+        let base = b * block_size;
+        for u in 0..block_size {
+            for v in u + 1..block_size {
+                edges.push((base + u, base + v));
+            }
+        }
+        if b + 1 < blocks {
+            let u = base + rng.gen_range(0..block_size);
+            let v = (b + 1) * block_size + rng.gen_range(0..block_size);
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid cluster chain")
+}
+
+/// Internal: distinct derivation streams for the generators in this module.
+fn stream_tag(k: u64) -> u64 {
+    0x6772_6170_6873_0000 | k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..10 {
+            let g = random_tree(50, seed);
+            assert_eq!(g.m(), 49);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_tree_singleton() {
+        let g = random_tree(1, 0);
+        assert_eq!(g.n(), 1);
+    }
+
+    #[test]
+    fn gnp_connected_always_connected() {
+        for seed in 0..10 {
+            let g = gnp_connected(40, 0.02, seed);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn gnp_dense_has_many_edges() {
+        let g = gnp_connected(40, 0.5, 7);
+        assert!(g.m() > 40 * 39 / 8, "m = {}", g.m());
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        for seed in 0..10 {
+            let g = bounded_degree(100, 4, 2.0, seed);
+            assert!(g.is_connected());
+            assert!(g.max_degree() <= 4, "Δ = {}", g.max_degree());
+        }
+    }
+
+    #[test]
+    fn bounded_degree_denser_than_path() {
+        let g = bounded_degree(200, 8, 3.0, 1);
+        assert!(g.m() > 250, "m = {}", g.m());
+    }
+
+    #[test]
+    fn cluster_chain_connected_with_expected_size() {
+        let g = cluster_chain(5, 6, 3);
+        assert_eq!(g.n(), 30);
+        assert!(g.is_connected());
+        // Diameter is Θ(blocks): each block is a clique.
+        let d = g.diameter_exact().unwrap();
+        assert!((4..=14).contains(&d), "D = {d}");
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        assert_eq!(random_tree(30, 5), random_tree(30, 5));
+        assert_eq!(gnp_connected(30, 0.1, 5), gnp_connected(30, 0.1, 5));
+        assert_eq!(
+            bounded_degree(30, 3, 1.0, 5),
+            bounded_degree(30, 3, 1.0, 5)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_tree(30, 5), random_tree(30, 6));
+    }
+}

@@ -1,0 +1,197 @@
+//! Exact per-device energy accounting.
+
+use crate::{NodeId, Slot};
+
+/// Meters every send and listen, per device, over a whole simulation.
+///
+/// Energy complexity in the paper is the number of slots a device transmits
+/// or listens; a full-duplex slot counts both. The meter also records the
+/// last slot in which *any* device was active, which is the simulation's
+/// time complexity.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    sends: Vec<u64>,
+    listens: Vec<u64>,
+    last_active: Option<Slot>,
+}
+
+impl EnergyMeter {
+    /// A meter for `n` devices with all counters zero.
+    pub fn new(n: usize) -> Self {
+        EnergyMeter {
+            sends: vec![0; n],
+            listens: vec![0; n],
+            last_active: None,
+        }
+    }
+
+    /// Records that `v` transmitted in slot `t`.
+    pub fn charge_send(&mut self, v: NodeId, t: Slot) {
+        self.sends[v] += 1;
+        self.bump(t);
+    }
+
+    /// Records that `v` listened in slot `t`.
+    pub fn charge_listen(&mut self, v: NodeId, t: Slot) {
+        self.listens[v] += 1;
+        self.bump(t);
+    }
+
+    fn bump(&mut self, t: Slot) {
+        self.last_active = Some(self.last_active.map_or(t, |x| x.max(t)));
+    }
+
+    /// Total energy spent by `v` (sends + listens).
+    pub fn energy(&self, v: NodeId) -> u64 {
+        self.sends[v] + self.listens[v]
+    }
+
+    /// Number of transmissions by `v`.
+    pub fn sends(&self, v: NodeId) -> u64 {
+        self.sends[v]
+    }
+
+    /// Number of listening slots of `v`.
+    pub fn listens(&self, v: NodeId) -> u64 {
+        self.listens[v]
+    }
+
+    /// The maximum energy over all devices — the paper's energy complexity.
+    pub fn max_energy(&self) -> u64 {
+        (0..self.sends.len()).map(|v| self.energy(v)).max().unwrap_or(0)
+    }
+
+    /// Sum of energy over all devices.
+    pub fn total_energy(&self) -> u64 {
+        (0..self.sends.len()).map(|v| self.energy(v)).sum()
+    }
+
+    /// Mean per-device energy.
+    pub fn mean_energy(&self) -> f64 {
+        if self.sends.is_empty() {
+            0.0
+        } else {
+            self.total_energy() as f64 / self.sends.len() as f64
+        }
+    }
+
+    /// The last slot in which any device was active, if any.
+    pub fn last_active(&self) -> Option<Slot> {
+        self.last_active
+    }
+
+    /// A summary snapshot suitable for printing in benchmark tables.
+    pub fn report(&self) -> EnergyReport {
+        let n = self.sends.len();
+        let mut energies: Vec<u64> = (0..n).map(|v| self.energy(v)).collect();
+        energies.sort_unstable();
+        let p = |q: f64| -> u64 {
+            if energies.is_empty() {
+                0
+            } else {
+                energies[((energies.len() - 1) as f64 * q) as usize]
+            }
+        };
+        EnergyReport {
+            max: self.max_energy(),
+            mean: self.mean_energy(),
+            median: p(0.5),
+            p95: p(0.95),
+            total: self.total_energy(),
+            time: self.last_active.map_or(0, |t| t + 1),
+        }
+    }
+
+    /// Resets all counters (devices and clock history).
+    pub fn reset(&mut self) {
+        self.sends.iter_mut().for_each(|x| *x = 0);
+        self.listens.iter_mut().for_each(|x| *x = 0);
+        self.last_active = None;
+    }
+}
+
+/// Aggregate energy/time statistics for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Maximum per-device energy (the paper's energy complexity).
+    pub max: u64,
+    /// Mean per-device energy.
+    pub mean: f64,
+    /// Median per-device energy.
+    pub median: u64,
+    /// 95th-percentile per-device energy.
+    pub p95: u64,
+    /// Total energy across all devices.
+    pub total: u64,
+    /// Number of slots up to and including the last active one.
+    pub time: u64,
+}
+
+impl core::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "time={} slots, energy max={} mean={:.1} median={} p95={} total={}",
+            self.time, self.max, self.mean, self.median, self.p95, self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sends_and_listens() {
+        let mut m = EnergyMeter::new(3);
+        m.charge_send(0, 5);
+        m.charge_listen(0, 6);
+        m.charge_listen(2, 9);
+        assert_eq!(m.energy(0), 2);
+        assert_eq!(m.energy(1), 0);
+        assert_eq!(m.energy(2), 1);
+        assert_eq!(m.sends(0), 1);
+        assert_eq!(m.listens(0), 1);
+        assert_eq!(m.max_energy(), 2);
+        assert_eq!(m.total_energy(), 3);
+        assert_eq!(m.last_active(), Some(9));
+    }
+
+    #[test]
+    fn last_active_is_max_not_last_call() {
+        let mut m = EnergyMeter::new(2);
+        m.charge_send(0, 100);
+        m.charge_send(1, 7);
+        assert_eq!(m.last_active(), Some(100));
+    }
+
+    #[test]
+    fn report_statistics() {
+        let mut m = EnergyMeter::new(4);
+        for t in 0..10 {
+            m.charge_listen(0, t);
+        }
+        m.charge_send(1, 3);
+        let r = m.report();
+        assert_eq!(r.max, 10);
+        assert_eq!(r.total, 11);
+        assert_eq!(r.time, 10);
+        assert!((r.mean - 11.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = EnergyMeter::new(2);
+        m.charge_send(0, 1);
+        m.reset();
+        assert_eq!(m.total_energy(), 0);
+        assert_eq!(m.last_active(), None);
+    }
+
+    #[test]
+    fn empty_meter() {
+        let m = EnergyMeter::new(0);
+        assert_eq!(m.max_energy(), 0);
+        assert_eq!(m.mean_energy(), 0.0);
+    }
+}

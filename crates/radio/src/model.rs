@@ -1,0 +1,272 @@
+//! Collision models and channel resolution.
+
+use crate::NodeId;
+
+/// The collision-detection model governing what listeners hear (paper §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// No collision detection: 0 or ≥2 transmitting neighbors are both heard
+    /// as silence.
+    NoCd,
+    /// Collision detection: 0 transmitters → silence, ≥2 → noise.
+    Cd,
+    /// Like CD, but with ≥2 transmitters the listener receives an arbitrary
+    /// one of the messages (the paper's CD\* model, §6.3). This simulator
+    /// deterministically delivers the lowest-id sender's message.
+    CdStar,
+    /// Every listener hears every message transmitted by any neighbor; no
+    /// collisions (the paper's LOCAL-with-energy model).
+    Local,
+    /// Content-free beeping: a listener learns only whether ≥1 neighbor
+    /// transmitted (§6.3 footnote).
+    Beep,
+}
+
+impl Model {
+    /// All models, in the order they appear in the paper's Table 1.
+    pub const ALL: [Model; 5] = [
+        Model::NoCd,
+        Model::Cd,
+        Model::CdStar,
+        Model::Local,
+        Model::Beep,
+    ];
+
+    /// A short human-readable name (`"No-CD"`, `"CD"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::NoCd => "No-CD",
+            Model::Cd => "CD",
+            Model::CdStar => "CD*",
+            Model::Local => "LOCAL",
+            Model::Beep => "Beep",
+        }
+    }
+}
+
+impl core::fmt::Display for Model {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a device chooses to do in a slot.
+///
+/// `Send` and `Listen` each cost one unit of energy; `Idle` is free;
+/// `SendListen` (full duplex, used by the Theorem 2 reduction and the §8
+/// path algorithm's analysis model) costs two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Stay asleep; costs nothing, and yields no feedback.
+    Idle,
+    /// Transmit `M`; the sender gets no feedback.
+    Send(M),
+    /// Listen to the channel; feedback per the collision model.
+    Listen,
+    /// Transmit and listen simultaneously (full duplex).
+    SendListen(M),
+}
+
+impl<M> Action<M> {
+    /// The energy this action costs (0, 1, or 2).
+    pub fn energy(&self) -> u64 {
+        match self {
+            Action::Idle => 0,
+            Action::Send(_) | Action::Listen => 1,
+            Action::SendListen(_) => 2,
+        }
+    }
+
+    /// The message being transmitted, if any.
+    pub fn message(&self) -> Option<&M> {
+        match self {
+            Action::Send(m) | Action::SendListen(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this action listens.
+    pub fn listens(&self) -> bool {
+        matches!(self, Action::Listen | Action::SendListen(_))
+    }
+}
+
+/// What a listening device hears at the end of a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feedback<M> {
+    /// The silence signal λS (no transmitting neighbor — or, under No-CD, a
+    /// collision indistinguishable from it).
+    Silence,
+    /// The noise signal λN (≥2 transmitting neighbors, CD only).
+    Noise,
+    /// Exactly one message received (or the arbitrary pick under CD\*).
+    One(M),
+    /// All messages from all transmitting neighbors (LOCAL only), ordered by
+    /// sender id.
+    Many(Vec<M>),
+    /// At least one neighbor beeped (Beep model only).
+    Beep,
+}
+
+impl<M> Feedback<M> {
+    /// The single received message, if the feedback carries exactly one.
+    pub fn message(&self) -> Option<&M> {
+        match self {
+            Feedback::One(m) => Some(m),
+            Feedback::Many(v) if v.len() == 1 => v.first(),
+            _ => None,
+        }
+    }
+
+    /// Whether the feedback indicates ≥1 transmitting neighbor.
+    ///
+    /// Under No-CD this is only `true` when a message was received; silence
+    /// from a collision is indistinguishable from true silence, faithfully
+    /// to the model.
+    pub fn heard_activity(&self) -> bool {
+        !matches!(self, Feedback::Silence)
+    }
+}
+
+/// Resolves what one listener hears, given its transmitting neighbors.
+///
+/// `senders` must iterate the listener's transmitting neighbors in
+/// ascending `NodeId` order (as [`crate::Graph::neighbors`] does). The
+/// listener itself is never among them: a device does not hear itself.
+pub fn resolve<M: Clone>(
+    model: Model,
+    senders: impl Iterator<Item = (NodeId, M)>,
+) -> Feedback<M> {
+    match model {
+        Model::Local => {
+            let msgs: Vec<M> = senders.map(|(_, m)| m).collect();
+            if msgs.is_empty() {
+                Feedback::Silence
+            } else {
+                Feedback::Many(msgs)
+            }
+        }
+        Model::Beep => {
+            if senders.count() == 0 {
+                Feedback::Silence
+            } else {
+                Feedback::Beep
+            }
+        }
+        Model::NoCd | Model::Cd | Model::CdStar => {
+            let mut iter = senders;
+            match (iter.next(), iter.next()) {
+                (None, _) => Feedback::Silence,
+                (Some((_, m)), None) => Feedback::One(m),
+                (Some((_, first)), Some(_)) => match model {
+                    Model::NoCd => Feedback::Silence,
+                    Model::Cd => Feedback::Noise,
+                    Model::CdStar => Feedback::One(first),
+                    _ => unreachable!(),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn senders(ms: &[(NodeId, &'static str)]) -> impl Iterator<Item = (NodeId, &'static str)> {
+        ms.to_vec().into_iter()
+    }
+
+    #[test]
+    fn nocd_semantics() {
+        assert_eq!(resolve(Model::NoCd, senders(&[])), Feedback::Silence);
+        assert_eq!(
+            resolve(Model::NoCd, senders(&[(3, "a")])),
+            Feedback::One("a")
+        );
+        assert_eq!(
+            resolve(Model::NoCd, senders(&[(3, "a"), (5, "b")])),
+            Feedback::Silence
+        );
+    }
+
+    #[test]
+    fn cd_semantics() {
+        assert_eq!(resolve(Model::Cd, senders(&[])), Feedback::Silence);
+        assert_eq!(resolve(Model::Cd, senders(&[(3, "a")])), Feedback::One("a"));
+        assert_eq!(
+            resolve(Model::Cd, senders(&[(3, "a"), (5, "b")])),
+            Feedback::Noise
+        );
+    }
+
+    #[test]
+    fn cdstar_picks_lowest_id() {
+        assert_eq!(
+            resolve(Model::CdStar, senders(&[(3, "a"), (5, "b")])),
+            Feedback::One("a")
+        );
+    }
+
+    #[test]
+    fn local_hears_everything() {
+        assert_eq!(
+            resolve(Model::Local, senders(&[(3, "a"), (5, "b")])),
+            Feedback::Many(vec!["a", "b"])
+        );
+        assert_eq!(resolve(Model::Local, senders(&[])), Feedback::Silence);
+    }
+
+    #[test]
+    fn beep_is_content_free() {
+        assert_eq!(resolve(Model::Beep, senders(&[(1, "x")])), Feedback::Beep);
+        assert_eq!(
+            resolve(Model::Beep, senders(&[(1, "x"), (2, "y")])),
+            Feedback::Beep
+        );
+        assert_eq!(resolve(Model::Beep, senders(&[])), Feedback::Silence);
+    }
+
+    #[test]
+    fn action_energy() {
+        assert_eq!(Action::<u8>::Idle.energy(), 0);
+        assert_eq!(Action::Send(1u8).energy(), 1);
+        assert_eq!(Action::<u8>::Listen.energy(), 1);
+        assert_eq!(Action::SendListen(1u8).energy(), 2);
+    }
+
+    #[test]
+    fn feedback_message_accessor() {
+        assert_eq!(Feedback::One(7).message(), Some(&7));
+        assert_eq!(Feedback::Many(vec![7]).message(), Some(&7));
+        assert_eq!(Feedback::Many(vec![7, 8]).message(), None);
+        assert_eq!(Feedback::<u8>::Silence.message(), None);
+        assert_eq!(Feedback::<u8>::Noise.message(), None);
+    }
+
+    #[test]
+    fn heard_activity() {
+        assert!(!Feedback::<u8>::Silence.heard_activity());
+        assert!(Feedback::<u8>::Noise.heard_activity());
+        assert!(Feedback::One(1u8).heard_activity());
+        assert!(Feedback::<u8>::Beep.heard_activity());
+    }
+    #[test]
+    fn model_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            Model::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Model::ALL.len());
+        assert_eq!(format!("{}", Model::CdStar), "CD*");
+    }
+
+    #[test]
+    fn action_message_accessor() {
+        assert_eq!(Action::Send(5u8).message(), Some(&5));
+        assert_eq!(Action::SendListen(5u8).message(), Some(&5));
+        assert_eq!(Action::<u8>::Listen.message(), None);
+        assert!(Action::<u8>::Listen.listens());
+        assert!(Action::SendListen(5u8).listens());
+        assert!(!Action::Send(5u8).listens());
+    }
+
+}

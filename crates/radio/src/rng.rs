@@ -1,0 +1,93 @@
+//! Deterministic per-node randomness derived from a single master seed.
+//!
+//! Every randomized algorithm in the paper assumes each device generates
+//! private random bits. For reproducible simulation we derive one independent
+//! stream per `(node, stream)` pair from a master seed with SplitMix64, and
+//! hand out [`rand::rngs::SmallRng`] instances seeded from those streams.
+//! Cluster-shared randomness (paper §6.2) uses the same derivation keyed by
+//! the cluster id.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::NodeId;
+
+/// One step of the SplitMix64 output function (a strong 64-bit mixer).
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a 64-bit sub-seed for `(node, stream)` under `master`.
+pub fn derive_seed(master: u64, node: NodeId, stream: u64) -> u64 {
+    let a = splitmix64(master ^ 0xa076_1d64_78bd_642f);
+    let b = splitmix64(a ^ (node as u64).wrapping_mul(0xe703_7ed1_a0b4_28db));
+    splitmix64(b ^ stream.wrapping_mul(0x8ebc_6af0_9c88_c6e3))
+}
+
+/// A private RNG for `node` on logical stream `stream`.
+///
+/// Distinct `(node, stream)` pairs yield independent streams; the same pair
+/// always yields the same stream, making whole simulations reproducible.
+pub fn node_rng(master: u64, node: NodeId, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(master, node, stream))
+}
+
+/// A shared RNG for a cluster rooted at `root` (paper §6.2's "shared random
+/// string"): every member derives the identical stream from the cluster id.
+pub fn cluster_rng(master: u64, root: NodeId, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(
+        master ^ 0x5bf0_3635_dcf9_8b5e,
+        root,
+        stream,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn deterministic() {
+        let mut a = node_rng(42, 7, 3);
+        let mut b = node_rng(42, 7, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn distinct_nodes_distinct_streams() {
+        let mut a = node_rng(42, 7, 3);
+        let mut b = node_rng(42, 8, 3);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn distinct_streams_distinct_output() {
+        let mut a = node_rng(42, 7, 3);
+        let mut b = node_rng(42, 7, 4);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn cluster_rng_shared_by_members() {
+        // Two members deriving the cluster stream from the same root agree.
+        let mut a = cluster_rng(1, 5, 0);
+        let mut b = cluster_rng(1, 5, 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = cluster_rng(1, 6, 0);
+        assert_ne!(node_rng(1, 5, 0).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_avalanche() {
+        // Flipping one input bit changes roughly half the output bits.
+        let x = splitmix64(0x1234_5678);
+        let y = splitmix64(0x1234_5679);
+        let flips = (x ^ y).count_ones();
+        assert!((16..=48).contains(&flips), "flips = {flips}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Optional event tracing, used to render the paper's Figure 1.
+
+use crate::{NodeId, Slot};
+
+/// What happened to one device in one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The device transmitted; payload rendered with `Debug`.
+    Send(String),
+    /// The device listened and received exactly one message.
+    Recv(String),
+    /// The device listened and heard silence.
+    HeardSilence,
+    /// The device listened and heard noise (CD) or a beep (Beep).
+    HeardNoise,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global slot number.
+    pub slot: Slot,
+    /// The device involved.
+    pub node: NodeId,
+    /// What it did / heard.
+    pub kind: TraceKind,
+}
+
+/// An append-only log of slot events.
+///
+/// Tracing is opt-in ([`crate::Sim::enable_trace`]) because message payloads
+/// are stringified eagerly.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, slot: Slot, node: NodeId, kind: TraceKind) {
+        self.events.push(TraceEvent { slot, node, kind });
+    }
+
+    /// All recorded events in append order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events affecting a single device, in slot order.
+    pub fn for_node(&self, v: NodeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.node == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        t.push(0, 1, TraceKind::Send("m".into()));
+        t.push(1, 2, TraceKind::Recv("m".into()));
+        t.push(2, 1, TraceKind::HeardSilence);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.for_node(1).count(), 2);
+        assert_eq!(t.for_node(2).count(), 1);
+        assert_eq!(t.for_node(9).count(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! A fast single-hop channel.
+
+use ebc_radio::{Action, EnergyMeter, Feedback, Model, NodeId, Slot};
+
+/// A single-hop network: every device is a neighbor of every other.
+///
+/// Channel resolution is `O(#active devices)` per slot. Devices never hear
+/// their own transmission (a device is not its own neighbor), which makes
+/// full duplex meaningful: a unique full-duplex sender hears *silence* and
+/// can conclude it was the unique transmitter — the self-detection trick
+/// used to terminate leader election.
+#[derive(Debug)]
+pub struct Clique {
+    n: usize,
+    model: Model,
+    meter: EnergyMeter,
+    clock: Slot,
+}
+
+impl Clique {
+    /// A single-hop network of `n` devices under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is [`Model::Local`]-incompatible — all five models
+    /// are accepted; this constructor never panics for `n ≥ 1`.
+    pub fn new(n: usize, model: Model) -> Self {
+        assert!(n >= 1);
+        Clique {
+            n,
+            model,
+            meter: EnergyMeter::new(n),
+            clock: 0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The collision model.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// The energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// The current slot.
+    pub fn now(&self) -> Slot {
+        self.clock
+    }
+
+    /// Advances the clock over idle slots.
+    pub fn skip(&mut self, slots: u64) {
+        self.clock += slots;
+    }
+
+    /// Executes one slot. `actions` lists the non-idle devices; everyone
+    /// else idles. Returns `(device, feedback)` for each device that
+    /// listened, in the order given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device id is out of range or appears twice.
+    pub fn slot<M: Clone>(&mut self, actions: &[(NodeId, Action<M>)]) -> Vec<(NodeId, Feedback<M>)> {
+        let mut senders: Vec<(NodeId, M)> = Vec::new();
+        let mut listeners: Vec<NodeId> = Vec::new();
+        let now = self.clock;
+        let mut seen = vec![false; self.n];
+        for (v, a) in actions {
+            assert!(*v < self.n, "device {v} out of range");
+            assert!(!seen[*v], "device {v} acted twice in one slot");
+            seen[*v] = true;
+            match a {
+                Action::Idle => {}
+                Action::Send(m) => {
+                    self.meter.charge_send(*v, now);
+                    senders.push((*v, m.clone()));
+                }
+                Action::Listen => {
+                    self.meter.charge_listen(*v, now);
+                    listeners.push(*v);
+                }
+                Action::SendListen(m) => {
+                    self.meter.charge_send(*v, now);
+                    self.meter.charge_listen(*v, now);
+                    senders.push((*v, m.clone()));
+                    listeners.push(*v);
+                }
+            }
+        }
+        senders.sort_by_key(|(v, _)| *v);
+        let out = listeners
+            .iter()
+            .map(|&v| {
+                let fb = ebc_radio::resolve(
+                    self.model,
+                    senders
+                        .iter()
+                        .filter(|(u, _)| *u != v)
+                        .map(|(u, m)| (*u, m.clone())),
+                );
+                (v, fb)
+            })
+            .collect();
+        self.clock += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_sender_reaches_all_listeners() {
+        let mut c = Clique::new(4, Model::Cd);
+        let fb = c.slot(&[
+            (0, Action::Send("m")),
+            (1, Action::Listen),
+            (2, Action::Listen),
+        ]);
+        assert_eq!(fb.len(), 2);
+        assert!(fb.iter().all(|(_, f)| *f == Feedback::One("m")));
+        assert_eq!(c.meter().energy(3), 0);
+    }
+
+    #[test]
+    fn two_senders_are_noise_in_cd_silence_in_nocd() {
+        let mut cd = Clique::new(3, Model::Cd);
+        let fb = cd.slot(&[
+            (0, Action::Send(1u8)),
+            (1, Action::Send(2u8)),
+            (2, Action::Listen),
+        ]);
+        assert_eq!(fb, vec![(2, Feedback::Noise)]);
+
+        let mut nocd = Clique::new(3, Model::NoCd);
+        let fb = nocd.slot(&[
+            (0, Action::Send(1u8)),
+            (1, Action::Send(2u8)),
+            (2, Action::Listen),
+        ]);
+        assert_eq!(fb, vec![(2, Feedback::Silence)]);
+    }
+
+    #[test]
+    fn unique_duplex_sender_self_detects_via_silence() {
+        let mut c = Clique::new(3, Model::Cd);
+        let fb = c.slot(&[(0, Action::SendListen("m")), (1, Action::Listen)]);
+        // Sender 0 hears silence (it was unique); listener 1 hears the message.
+        assert!(fb.contains(&(0, Feedback::Silence)));
+        assert!(fb.contains(&(1, Feedback::One("m"))));
+    }
+
+    #[test]
+    fn duplex_sender_hears_other_sender() {
+        let mut c = Clique::new(3, Model::Cd);
+        let fb = c.slot(&[(0, Action::SendListen("a")), (1, Action::SendListen("b"))]);
+        assert!(fb.contains(&(0, Feedback::One("b"))));
+        assert!(fb.contains(&(1, Feedback::One("a"))));
+    }
+
+    #[test]
+    fn three_duplex_senders_hear_noise() {
+        let mut c = Clique::new(3, Model::Cd);
+        let fb = c.slot(&[
+            (0, Action::SendListen("a")),
+            (1, Action::SendListen("b")),
+            (2, Action::SendListen("c")),
+        ]);
+        assert!(fb.iter().all(|(_, f)| *f == Feedback::Noise));
+    }
+
+    #[test]
+    fn energy_metered_per_action() {
+        let mut c = Clique::new(2, Model::NoCd);
+        c.slot(&[(0, Action::SendListen(0u8)), (1, Action::Listen)]);
+        c.slot::<u8>(&[(1, Action::Listen)]);
+        assert_eq!(c.meter().energy(0), 2);
+        assert_eq!(c.meter().energy(1), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "acted twice")]
+    fn double_action_rejected() {
+        let mut c = Clique::new(2, Model::NoCd);
+        c.slot(&[(0, Action::Send(1u8)), (0, Action::Listen)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Deterministic single-hop leader election by ID-interval binary search.
+//!
+//! Devices carry distinct IDs in `{1, …, N}`. The candidate interval is
+//! halved each slot: candidates in the upper half transmit while everyone
+//! listens (full duplex); hearing *anything* (a message or noise) keeps the
+//! upper half, silence keeps the lower half. After `⌈log₂ N⌉` slots the
+//! interval is a single ID, whose owner announces itself.
+//!
+//! Time and per-device energy are both `O(log N)` — the optimal bound for
+//! deterministic single-hop leader election cited in the paper's §2.
+
+use ebc_radio::{Action, Feedback, Model, NodeId};
+
+use crate::Clique;
+
+/// The outcome of a deterministic election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetLeResult {
+    /// The elected device (the candidate with the highest ID).
+    pub leader: NodeId,
+    /// Its ID.
+    pub leader_id: u64,
+    /// Slots consumed.
+    pub slots: u64,
+}
+
+/// Elects the candidate with the *highest* ID among `candidates`.
+///
+/// `ids[v]` is the ID of device `v`; IDs must be distinct and in `1..=N`.
+/// All `candidates` participate with full-duplex energy `O(log N)`.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty, an ID is out of `1..=N`, or the clique
+/// is not a CD-capable model ([`Model::Cd`] or [`Model::CdStar`]).
+pub fn det_leader_election(
+    clique: &mut Clique,
+    candidates: &[NodeId],
+    ids: &[u64],
+    id_space: u64,
+) -> DetLeResult {
+    assert!(!candidates.is_empty());
+    assert!(
+        matches!(clique.model(), Model::Cd | Model::CdStar),
+        "deterministic LE needs collision detection"
+    );
+    for &v in candidates {
+        assert!(
+            (1..=id_space).contains(&ids[v]),
+            "ID {} of device {v} outside 1..={id_space}",
+            ids[v]
+        );
+    }
+    let (mut lo, mut hi) = (1u64, id_space);
+    let mut slots = 0u64;
+    // Invariant: some candidate has an ID in [lo, hi].
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        // Candidates with ID in (mid, hi] transmit; all candidates listen.
+        let actions: Vec<(NodeId, Action<u64>)> = candidates
+            .iter()
+            .map(|&v| {
+                if ids[v] > mid && ids[v] <= hi {
+                    (v, Action::SendListen(ids[v]))
+                } else {
+                    (v, Action::Listen)
+                }
+            })
+            .collect();
+        let senders: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&v| ids[v] > mid && ids[v] <= hi)
+            .collect();
+        let fbs = clique.slot(&actions);
+        slots += 1;
+        let upper_occupied = occupied(&fbs, &senders);
+        if upper_occupied {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    // The winner announces itself so that every candidate learns its
+    // identity (one more slot).
+    let winner = *candidates
+        .iter()
+        .find(|&&v| ids[v] == lo)
+        .expect("interval invariant: a candidate holds the final ID");
+    let actions: Vec<(NodeId, Action<u64>)> = candidates
+        .iter()
+        .map(|&v| {
+            if v == winner {
+                (v, Action::Send(winner as u64))
+            } else {
+                (v, Action::Listen)
+            }
+        })
+        .collect();
+    clique.slot(&actions);
+    slots += 1;
+    DetLeResult {
+        leader: winner,
+        leader_id: lo,
+        slots,
+    }
+}
+
+/// Whether the tested half contained at least one transmitter, from the
+/// listeners' shared channel view.
+fn occupied(fbs: &[(NodeId, Feedback<u64>)], senders: &[NodeId]) -> bool {
+    for (v, fb) in fbs {
+        if !senders.contains(v) {
+            return !matches!(fb, Feedback::Silence);
+        }
+    }
+    // All candidates transmitted: 1 sender hears silence (it alone was
+    // transmitting), ≥2 hear each other. Either way the half is occupied.
+    !senders.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids_identity(n: usize) -> Vec<u64> {
+        (0..n).map(|v| v as u64 + 1).collect()
+    }
+
+    #[test]
+    fn elects_highest_id() {
+        let n = 16;
+        let mut c = Clique::new(n, Model::Cd);
+        let cands: Vec<NodeId> = vec![2, 5, 11, 13];
+        let ids = ids_identity(n);
+        let res = det_leader_election(&mut c, &cands, &ids, n as u64);
+        assert_eq!(res.leader, 13);
+        assert_eq!(res.leader_id, 14);
+    }
+
+    #[test]
+    fn single_candidate_wins() {
+        let mut c = Clique::new(8, Model::Cd);
+        let ids = ids_identity(8);
+        let res = det_leader_election(&mut c, &[4], &ids, 8);
+        assert_eq!(res.leader, 4);
+    }
+
+    #[test]
+    fn slots_are_logarithmic_in_id_space() {
+        let n = 1024;
+        let mut c = Clique::new(n, Model::Cd);
+        let cands: Vec<NodeId> = (0..n).collect();
+        let ids = ids_identity(n);
+        let res = det_leader_election(&mut c, &cands, &ids, n as u64);
+        assert_eq!(res.leader, n - 1);
+        assert!(res.slots <= 12, "slots = {}", res.slots);
+    }
+
+    #[test]
+    fn energy_is_logarithmic() {
+        let n = 256;
+        let mut c = Clique::new(n, Model::Cd);
+        let cands: Vec<NodeId> = (0..n).collect();
+        let ids = ids_identity(n);
+        let res = det_leader_election(&mut c, &cands, &ids, n as u64);
+        // Per-device energy ≤ 2 per slot (full duplex).
+        assert!(c.meter().max_energy() <= 2 * res.slots);
+        assert!(c.meter().max_energy() <= 20);
+    }
+
+    #[test]
+    fn works_with_sparse_arbitrary_ids() {
+        let n = 8;
+        let mut c = Clique::new(n, Model::Cd);
+        let mut ids = vec![0u64; n];
+        ids[1] = 7;
+        ids[3] = 100;
+        ids[6] = 55;
+        let res = det_leader_election(&mut c, &[1, 3, 6], &ids, 128);
+        assert_eq!(res.leader, 3);
+        assert_eq!(res.leader_id, 100);
+    }
+
+    #[test]
+    fn deterministic_same_result_every_time() {
+        let n = 32;
+        let ids = ids_identity(n);
+        let cands: Vec<NodeId> = (0..n).step_by(3).collect();
+        let r1 = det_leader_election(&mut Clique::new(n, Model::Cd), &cands, &ids, n as u64);
+        let r2 = det_leader_election(&mut Clique::new(n, Model::Cd), &cands, &ids, n as u64);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs collision detection")]
+    fn rejects_nocd() {
+        let mut c = Clique::new(4, Model::NoCd);
+        let ids = ids_identity(4);
+        det_leader_election(&mut c, &[0], &ids, 4);
+    }
+    #[test]
+    fn works_under_cdstar_model() {
+        let n = 16;
+        let mut c = Clique::new(n, Model::CdStar);
+        let ids = ids_identity(n);
+        let res = det_leader_election(&mut c, &[2, 9, 14], &ids, n as u64);
+        assert_eq!(res.leader, 14);
+    }
+
+}

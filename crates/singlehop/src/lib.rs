@@ -1,0 +1,30 @@
+//! Single-hop (clique) radio network primitives.
+//!
+//! The paper's multi-hop energy bounds are powered by single-hop machinery:
+//!
+//! * [`Clique`] — a fast single-hop channel (every device hears every other)
+//!   with full-duplex support and exact energy metering. Equivalent to
+//!   running [`ebc_radio::Sim`] on a complete graph, but `O(#active)` per
+//!   slot instead of `O(Σ deg)`.
+//! * [`UniformLeaderElection`] — a *uniform* leader-election schedule in the
+//!   CD model à la Nakano–Olariu: every participant transmits with the
+//!   same probability `2^{-k_t}` where `k_t` is a function of the public
+//!   channel history only. Succeeds in `O(log log n′ + log 1/f)` slots.
+//!   Lemma 8's generic transformation consumes exactly this object.
+//! * [`approximate_count`] — the probe/binary-search phases alone, returning
+//!   a constant-factor estimate of the number of participants.
+//! * [`det`] — deterministic leader election by ID-interval binary search
+//!   (`O(log N)` slots and energy), used by the deterministic lower bound
+//!   discussion (§2) and as a unit-testable substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clique;
+pub mod det;
+mod uniform;
+
+pub use clique::Clique;
+pub use uniform::{approximate_count, run_uniform_le, LeResult, Obs, UniformLeaderElection};
+
+pub use ebc_radio::{Action, EnergyMeter, Feedback, Model, NodeId, Slot};

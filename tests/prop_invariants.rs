@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: channel semantics, graph construction, good labelings,
+//! deterministic SR exactness, and clustering validity.
+
+use ebc_core::cast::relabel;
+use ebc_core::cluster::partition_beta;
+use ebc_core::labeling::Labeling;
+use ebc_core::srcomm::{det_sr, Sr};
+use ebc_core::util::NodeRngs;
+use ebc_radio::{resolve, Feedback, Graph, Model, NodeId, Sim};
+use proptest::prelude::*;
+
+/// Random connected graph strategy: a random tree plus random extra edges.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n, any::<u64>(), 0..30usize).prop_map(|(n, seed, extra)| {
+        let tree = ebc_graphs::random::random_tree(n, seed);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for u in 0..n {
+            for v in tree.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let mut x = seed;
+        for _ in 0..extra {
+            x = ebc_radio::rng::splitmix64(x);
+            let u = (x % n as u64) as usize;
+            x = ebc_radio::rng::splitmix64(x);
+            let v = (x % n as u64) as usize;
+            if u != v {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        Graph::from_edges(n, &edges).expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resolve_matches_naive_semantics(
+        senders in proptest::collection::vec((0usize..20, 0u8..255), 0..6),
+        model_idx in 0usize..5,
+    ) {
+        let model = Model::ALL[model_idx];
+        let mut uniq: Vec<(NodeId, u8)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (v, m) in senders {
+            if seen.insert(v) {
+                uniq.push((v, m));
+            }
+        }
+        uniq.sort_by_key(|(v, _)| *v);
+        let fb = resolve(model, uniq.clone().into_iter());
+        match (model, uniq.len()) {
+            (_, 0) => prop_assert_eq!(fb, Feedback::Silence),
+            (Model::Beep, _) => prop_assert_eq!(fb, Feedback::Beep),
+            (Model::Local, _) => {
+                let msgs: Vec<u8> = uniq.iter().map(|(_, m)| *m).collect();
+                prop_assert_eq!(fb, Feedback::Many(msgs));
+            }
+            (_, 1) => prop_assert_eq!(fb, Feedback::One(uniq[0].1)),
+            (Model::NoCd, _) => prop_assert_eq!(fb, Feedback::Silence),
+            (Model::Cd, _) => prop_assert_eq!(fb, Feedback::Noise),
+            (Model::CdStar, _) => prop_assert_eq!(fb, Feedback::One(uniq[0].1)),
+        }
+    }
+
+    #[test]
+    fn graph_construction_is_symmetric_and_simple(
+        n in 2usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let filtered: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n && u != v)
+            .collect();
+        let g = Graph::from_edges(n, &filtered).expect("valid");
+        for u in 0..n {
+            for v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert_ne!(u, v);
+            }
+            // Sorted, deduplicated neighbor lists.
+            let nb: Vec<NodeId> = g.neighbors(u).collect();
+            let mut sorted = nb.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(nb, sorted);
+        }
+    }
+
+    #[test]
+    fn bfs_satisfies_edge_lipschitz(g in connected_graph(24)) {
+        let dist = g.bfs(0);
+        for u in 0..g.n() {
+            for v in g.neighbors(u) {
+                prop_assert!(dist[u].abs_diff(dist[v]) <= 1, "edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_trees(n in 2usize..40, seed in any::<u64>()) {
+        let g = ebc_graphs::random::random_tree(n, seed);
+        prop_assert_eq!(g.diameter_double_sweep(), g.diameter_exact());
+    }
+
+    #[test]
+    fn bfs_labeling_of_any_connected_graph_is_good(g in connected_graph(24)) {
+        let dist = g.bfs(0);
+        let l = Labeling::from_labels(dist);
+        prop_assert!(l.is_good(&g));
+        prop_assert_eq!(l.layer0_count(), 1);
+    }
+
+    #[test]
+    fn relabel_preserves_goodness_and_shrinks(
+        g in connected_graph(20),
+        seed in any::<u64>(),
+        p in 0.1f64..0.9,
+    ) {
+        let n = g.n();
+        let mut sim = Sim::new(g.clone(), Model::Local, seed);
+        let mut rngs = NodeRngs::new(seed, n, 1);
+        let mut coins = NodeRngs::new(seed, n, 2);
+        let l0 = Labeling::all_zero(n);
+        let l1 = relabel(&mut sim, &l0, p, 1, n as u32, &Sr::Local, &mut rngs, &mut coins);
+        prop_assert!(l1.is_good(&g), "labels {:?}", l1.labels());
+        prop_assert!(l1.layer0_count() <= l0.layer0_count());
+        let l2 = relabel(&mut sim, &l1, p, 1, n as u32, &Sr::Local, &mut rngs, &mut coins);
+        prop_assert!(l2.is_good(&g), "labels {:?}", l2.labels());
+        prop_assert!(l2.layer0_count() <= l1.layer0_count());
+    }
+
+    #[test]
+    fn det_sr_is_exactly_min_over_closed_neighborhood(
+        g in connected_graph(16),
+        msgs in proptest::collection::vec(proptest::option::of(0u64..64), 16),
+    ) {
+        let n = g.n();
+        let senders: Vec<(NodeId, u64)> = (0..n)
+            .filter_map(|v| msgs.get(v).copied().flatten().map(|m| (v, m)))
+            .collect();
+        let receivers: Vec<NodeId> = (0..n).collect();
+        let mut sim = Sim::new(g.clone(), Model::Cd, 1);
+        let got = det_sr(&mut sim, &senders, &receivers, 64);
+        let sender_map: std::collections::HashMap<NodeId, u64> =
+            senders.iter().cloned().collect();
+        for (i, &v) in receivers.iter().enumerate() {
+            let expect = std::iter::once(v)
+                .chain(g.neighbors(v))
+                .filter_map(|u| sender_map.get(&u).copied())
+                .min();
+            prop_assert_eq!(got[i], expect, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn partition_beta_always_yields_valid_clustering(
+        g in connected_graph(24),
+        seed in any::<u64>(),
+        beta_pct in 10u32..45,
+    ) {
+        let beta = beta_pct as f64 / 100.0;
+        let n = g.n();
+        let mut sim = Sim::new(g.clone(), Model::Local, seed);
+        let mut rngs = NodeRngs::new(seed, n, 3);
+        let st = partition_beta(&mut sim, beta, &Sr::Local, &mut rngs);
+        prop_assert!(st.is_valid(&g));
+        prop_assert!(st.labeling.is_good(&g));
+        // Every vertex belongs to the cluster of an actual center.
+        for v in 0..n {
+            let c = st.cid[v] as usize;
+            prop_assert_eq!(st.cid[c], st.cid[v]);
+            prop_assert_eq!(st.labeling.label(c), 0);
+        }
+    }
+
+    #[test]
+    fn decay_sr_never_fabricates_messages(
+        g in connected_graph(16),
+        sender_mask in proptest::collection::vec(any::<bool>(), 16),
+        seed in any::<u64>(),
+    ) {
+        let n = g.n();
+        let senders: Vec<(NodeId, u32)> = (0..n)
+            .filter(|&v| sender_mask.get(v).copied().unwrap_or(false))
+            .map(|v| (v, v as u32))
+            .collect();
+        let receivers: Vec<NodeId> = (0..n)
+            .filter(|&v| !sender_mask.get(v).copied().unwrap_or(false))
+            .collect();
+        let mut sim = Sim::new(g.clone(), Model::NoCd, seed);
+        let sr = Sr::Decay { delta: g.max_degree().max(1), sweeps: 6 };
+        let got = sr.run(&mut sim, &senders, &receivers, &mut NodeRngs::new(seed, n, 4));
+        let sender_set: std::collections::HashSet<NodeId> =
+            senders.iter().map(|(v, _)| *v).collect();
+        for (i, &v) in receivers.iter().enumerate() {
+            if let Some(m) = got[i] {
+                // The message names its sender; it must be a real S-neighbor.
+                let u = m as NodeId;
+                prop_assert!(sender_set.contains(&u));
+                prop_assert!(g.has_edge(v, u), "{} heard non-neighbor {}", v, u);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_meter_totals_are_consistent(
+        charges in proptest::collection::vec((0usize..8, any::<bool>(), 0u64..1000), 0..50),
+    ) {
+        let mut meter = ebc_radio::EnergyMeter::new(8);
+        let mut max_slot = None;
+        for (v, is_send, t) in &charges {
+            if *is_send {
+                meter.charge_send(*v, *t);
+            } else {
+                meter.charge_listen(*v, *t);
+            }
+            max_slot = Some(max_slot.map_or(*t, |m: u64| m.max(*t)));
+        }
+        prop_assert_eq!(meter.total_energy(), charges.len() as u64);
+        prop_assert_eq!(meter.last_active(), max_slot);
+        let sum: u64 = (0..8).map(|v| meter.energy(v)).sum();
+        prop_assert_eq!(sum, charges.len() as u64);
+        prop_assert!(meter.max_energy() <= meter.total_energy());
+    }
+}
