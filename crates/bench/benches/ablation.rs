@@ -1,4 +1,7 @@
-//! `cargo bench` target regenerating this experiment's table.
+//! `cargo bench` target regenerating this experiment's table and
+//! `BENCH_ablation.json` (in the current directory).
 fn main() {
-    ebc_bench::e12_ablation();
+    let spec = ebc_bench::find_experiment("ablation").expect("registered experiment");
+    let config = ebc_bench::RunConfig::default();
+    ebc_bench::run_to_files(spec, &config, std::path::Path::new(".")).expect("write results");
 }

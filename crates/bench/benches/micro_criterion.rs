@@ -16,7 +16,12 @@ fn bench_decay_sr(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Sim::new(g.clone(), Model::NoCd, 5);
             let sr = Sr::Decay { delta, sweeps: 10 };
-            let got = sr.run(&mut sim, &senders, &[0], &mut NodeRngs::new(5, delta + 1, 1));
+            let got = sr.run(
+                &mut sim,
+                &senders,
+                &[0],
+                &mut NodeRngs::new(5, delta + 1, 1),
+            );
             std::hint::black_box(got)
         })
     });
@@ -29,8 +34,17 @@ fn bench_cd_sr(c: &mut Criterion) {
     c.bench_function("cd_transform_sr_star64", |b| {
         b.iter(|| {
             let mut sim = Sim::new(g.clone(), Model::Cd, 5);
-            let sr = Sr::CdTransform { delta, epochs: 20, relevance_check: false };
-            let got = sr.run(&mut sim, &senders, &[0], &mut NodeRngs::new(5, delta + 1, 1));
+            let sr = Sr::CdTransform {
+                delta,
+                epochs: 20,
+                relevance_check: false,
+            };
+            let got = sr.run(
+                &mut sim,
+                &senders,
+                &[0],
+                &mut NodeRngs::new(5, delta + 1, 1),
+            );
             std::hint::black_box(got)
         })
     });

@@ -1,4 +1,7 @@
-//! `cargo bench` target regenerating this experiment's table.
+//! `cargo bench` target regenerating this experiment's table and
+//! `BENCH_table1_det.json` (in the current directory).
 fn main() {
-    ebc_bench::e8_table1_det();
+    let spec = ebc_bench::find_experiment("table1_det").expect("registered experiment");
+    let config = ebc_bench::RunConfig::default();
+    ebc_bench::run_to_files(spec, &config, std::path::Path::new(".")).expect("write results");
 }

@@ -1,0 +1,606 @@
+//! The experiment registry: every row of the paper's Table 1 and every
+//! figure, as a structured, parallel, JSON-serializable experiment.
+//!
+//! Each experiment is a pure function `RunConfig -> Vec<Case>`; the
+//! [`ExperimentSpec`] wraps it with its name, human context, and the
+//! paper's asymptotic claim. Absolute constants are not expected to match
+//! the asymptotic formulas; the *shape* is what each experiment
+//! demonstrates — who wins, how costs grow with `n`, `Δ` and `D`, and
+//! where tradeoff knobs move the balance.
+
+use ebc_core::baseline::bgi_decay_broadcast;
+use ebc_core::cdfast::{broadcast_theorem20, Theorem20Config};
+use ebc_core::cluster::{broadcast_theorem16, partition_beta, Theorem16Config};
+use ebc_core::det::{broadcast_det_cd, broadcast_det_local, DetCdConfig, DetLocalConfig};
+use ebc_core::path::{path_broadcast, PathConfig};
+use ebc_core::randomized::{
+    broadcast_corollary13, broadcast_theorem11, broadcast_theorem12, Theorem11Config,
+    Theorem12Config,
+};
+use ebc_core::reduction::{run_reduction, theorem2_lower_bound, DecayMiddle, UniformCdMiddle};
+use ebc_core::srcomm::Sr;
+use ebc_core::util::NodeRngs;
+use ebc_graphs::deterministic::{cycle, grid, k2k, star};
+use ebc_radio::{Model, Sim};
+
+use crate::json::Json;
+use crate::measure::{sweep_broadcast, sweep_seeds, Case, RunConfig};
+
+/// A named experiment: metadata plus its runner.
+pub struct ExperimentSpec {
+    /// Stable machine name (also the `BENCH_<name>.json` file stem).
+    pub name: &'static str,
+    /// One-line human title.
+    pub title: &'static str,
+    /// The paper's asymptotic claim this experiment reproduces.
+    pub paper: &'static str,
+    /// What shape to expect in the numbers, in one sentence.
+    pub note: &'static str,
+    /// Runs the experiment under `config`.
+    pub run: fn(&RunConfig) -> Vec<Case>,
+}
+
+/// A completed experiment: the spec it ran, how, and the cases produced.
+pub struct ExperimentResult {
+    /// The spec that ran.
+    pub spec: &'static ExperimentSpec,
+    /// The configuration it ran under.
+    pub config: RunConfig,
+    /// One entry per parameter point.
+    pub cases: Vec<Case>,
+}
+
+/// The JSON schema version stamped into every emitted file. Bump on any
+/// backwards-incompatible change to the document layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl ExperimentResult {
+    /// Serializes the full result document (`BENCH_<name>.json` payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema_version", SCHEMA_VERSION)
+            .field("experiment", self.spec.name)
+            .field("title", self.spec.title)
+            .field("paper_bound", self.spec.paper)
+            .field("note", self.spec.note)
+            .field(
+                "config",
+                Json::obj()
+                    .field("seeds", self.config.seeds.map_or(Json::Null, Json::from))
+                    .field("quick", self.config.quick)
+                    .field("threads", rayon::current_num_threads()),
+            )
+            .field(
+                "cases",
+                Json::Arr(self.cases.iter().map(Case::to_json).collect()),
+            )
+    }
+}
+
+/// Runs `spec` under `config`.
+pub fn run_experiment(spec: &'static ExperimentSpec, config: &RunConfig) -> ExperimentResult {
+    ExperimentResult {
+        spec,
+        config: config.clone(),
+        cases: (spec.run)(config),
+    }
+}
+
+/// Looks up an experiment by exact name, then by unique substring.
+pub fn find_experiment(name: &str) -> Option<&'static ExperimentSpec> {
+    if let Some(spec) = EXPERIMENTS.iter().find(|s| s.name == name) {
+        return Some(spec);
+    }
+    let matches: Vec<&'static ExperimentSpec> = EXPERIMENTS
+        .iter()
+        .filter(|s| s.name.contains(name))
+        .collect();
+    match matches.as_slice() {
+        [one] => Some(one),
+        _ => None,
+    }
+}
+
+fn sizes<'a>(config: &RunConfig, full: &'a [usize], quick: &'a [usize]) -> &'a [usize] {
+    if config.quick {
+        quick
+    } else {
+        full
+    }
+}
+
+/// E1/E5/E7 — Table 1 randomized rows: Theorem 11 under LOCAL / CD /
+/// No-CD and Theorem 12 under CD, swept over `n` on rings.
+fn run_table1_randomized(config: &RunConfig) -> Vec<Case> {
+    let t11 = Theorem11Config::default();
+    let t12 = Theorem12Config::default();
+    let mut cases = Vec::new();
+    for &n in sizes(config, &[64, 128, 256, 512], &[64, 128]) {
+        let g = cycle(n);
+        let variants: &[(&'static str, Model, u64)] = &[
+            ("theorem11", Model::Local, 3),
+            ("theorem11", Model::Cd, 3),
+            ("theorem11", Model::NoCd, 3),
+            ("theorem12", Model::Cd, 2),
+        ];
+        for &(algorithm, model, full_seeds) in variants {
+            let seeds = config.seeds_for(full_seeds);
+            let measurements = sweep_broadcast(&g, model, seeds, |s| match algorithm {
+                "theorem11" => broadcast_theorem11(s, 0, &t11).all_informed(),
+                _ => broadcast_theorem12(s, 0, &t12).all_informed(),
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", "cycle".into()),
+                    ("n", n.into()),
+                    ("algorithm", algorithm.into()),
+                    ("model", model_name(model).into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    cases
+}
+
+/// E2 — Theorem 16's `O(D^{1+ε})` time on grids vs Theorem 11.
+fn run_table1_dtime(config: &RunConfig) -> Vec<Case> {
+    let t16 = Theorem16Config {
+        beta_override: Some(0.25),
+        ..Theorem16Config::default()
+    };
+    let t11 = Theorem11Config::default();
+    let mut cases = Vec::new();
+    for &side in sizes(config, &[8, 12, 16, 22], &[8, 12]) {
+        let g = grid(side, side);
+        let seeds = config.seeds_for(2);
+        for (algorithm, m16) in [("theorem16", true), ("theorem11", false)] {
+            let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
+                if m16 {
+                    broadcast_theorem16(s, 0, &t16).all_informed()
+                } else {
+                    broadcast_theorem11(s, 0, &t11).all_informed()
+                }
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", format!("grid {side}x{side}").into()),
+                    ("n", (side * side).into()),
+                    ("diameter", (2 * (side - 1)).into()),
+                    ("algorithm", algorithm.into()),
+                    ("model", model_name(Model::NoCd).into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    cases
+}
+
+/// E3 — Corollary 13: bounded-degree No-CD via LOCAL simulation.
+fn run_table1_bounded(config: &RunConfig) -> Vec<Case> {
+    let t11 = Theorem11Config::default();
+    let mut cases = Vec::new();
+    for &n in sizes(config, &[64, 128, 256, 512], &[64, 128]) {
+        let g = cycle(n);
+        let seeds = config.seeds_for(2);
+        for (algorithm, cor13) in [("corollary13", true), ("theorem11", false)] {
+            let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
+                if cor13 {
+                    broadcast_corollary13(s, 0).all_informed()
+                } else {
+                    broadcast_theorem11(s, 0, &t11).all_informed()
+                }
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", "cycle".into()),
+                    ("n", n.into()),
+                    ("algorithm", algorithm.into()),
+                    ("model", model_name(Model::NoCd).into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    cases
+}
+
+/// E4 — the Theorem 2 reduction on `K_{2,k}`: leader-election slot counts
+/// against the analytic lower bounds, plus broadcast energy on the gadget.
+fn run_table1_lower(config: &RunConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for &k in sizes(config, &[8, 32, 128, 512], &[8, 32]) {
+        let le_seeds = config.seeds_for(10);
+        for (protocol, model) in [("decay", Model::NoCd), ("uniform", Model::Cd)] {
+            let measurements = sweep_seeds(le_seeds, |seed| {
+                let (r, _) = match protocol {
+                    "decay" => run_reduction(k, model, |_| DecayMiddle::new(k), seed, 100_000),
+                    _ => run_reduction(k, model, |_| UniformCdMiddle::new(k), seed, 100_000),
+                };
+                vec![
+                    ("le_slots", r.slots as f64),
+                    ("elected", f64::from(u8::from(r.leader.is_some()))),
+                ]
+            });
+            cases.push(Case::new(
+                vec![
+                    ("gadget", "k2k".into()),
+                    ("k", k.into()),
+                    ("protocol", protocol.into()),
+                    ("model", model_name(model).into()),
+                    ("bound_f1pct", theorem2_lower_bound(model, k, 0.01).into()),
+                ],
+                measurements,
+            ));
+        }
+        // Broadcast energy on the gadget itself (Theorem 11, CD): always
+        // far above the reduction-derived bound.
+        let g = k2k(k);
+        let measurements = sweep_broadcast(&g, Model::Cd, config.seeds_for(2), |s| {
+            broadcast_theorem11(s, 0, &Theorem11Config::default()).all_informed()
+        });
+        cases.push(Case::new(
+            vec![
+                ("gadget", "k2k".into()),
+                ("k", k.into()),
+                ("protocol", "broadcast_theorem11".into()),
+                ("model", model_name(Model::Cd).into()),
+                (
+                    "bound_f1pct",
+                    theorem2_lower_bound(Model::Cd, k, 0.01).into(),
+                ),
+            ],
+            measurements,
+        ));
+    }
+    cases
+}
+
+/// E6 — Theorem 20: lower CD energy bought with much more time.
+fn run_table1_cdfast(config: &RunConfig) -> Vec<Case> {
+    let t20 = Theorem20Config::default();
+    let t11 = Theorem11Config::default();
+    let mut cases = Vec::new();
+    for &n in sizes(config, &[32, 64, 128], &[32, 64]) {
+        let g = cycle(n);
+        let seeds = config.seeds_for(2);
+        for (algorithm, is20) in [("theorem20", true), ("theorem11", false)] {
+            let measurements = sweep_broadcast(&g, Model::Cd, seeds, |s| {
+                if is20 {
+                    broadcast_theorem20(s, 0, &t20).all_informed()
+                } else {
+                    broadcast_theorem11(s, 0, &t11).all_informed()
+                }
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", "cycle".into()),
+                    ("n", n.into()),
+                    ("algorithm", algorithm.into()),
+                    ("model", model_name(Model::Cd).into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    cases
+}
+
+/// E8/E9 — deterministic rows (Theorems 25 and 27); a single seed, the
+/// algorithms are deterministic.
+fn run_table1_det(config: &RunConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for &n in sizes(config, &[16, 32, 64], &[16, 32]) {
+        let g = cycle(n);
+        for (algorithm, model) in [("theorem25", Model::Local), ("theorem27", Model::Cd)] {
+            let measurements = sweep_broadcast(&g, model, 1, |s| {
+                if model == Model::Local {
+                    broadcast_det_local(s, 0, &DetLocalConfig::default()).all_informed()
+                } else {
+                    broadcast_det_cd(s, 0, &DetCdConfig::default()).all_informed()
+                }
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", "cycle".into()),
+                    ("n", n.into()),
+                    ("algorithm", algorithm.into()),
+                    ("model", model_name(model).into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    cases
+}
+
+/// E10/E11 — the §8 path algorithm: ≤ 2n delivery time at `O(log n)`
+/// expected per-vertex energy.
+fn run_fig1_path(config: &RunConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for &exp in sizes(config, &[8, 10, 12, 14], &[8, 10]) {
+        let n = 1usize << exp;
+        let seeds = config.seeds_for(5);
+        let cfg = PathConfig {
+            oriented: true,
+            cap_blocking: true,
+        };
+        let measurements = sweep_seeds(seeds, |seed| {
+            let (stats, engine) = path_broadcast(n, 0, &cfg, seed);
+            assert!(stats.all_informed, "path broadcast failed (seed {seed})");
+            let r = engine.meter().report();
+            vec![
+                ("time", stats.delivery_time as f64),
+                (
+                    "within_2n",
+                    f64::from(u8::from(stats.delivery_time <= 2 * n as u64)),
+                ),
+                ("energy_max", r.max as f64),
+                ("energy_mean", r.mean),
+            ]
+        });
+        cases.push(Case::new(
+            vec![("graph", "path".into()), ("n", n.into())],
+            measurements,
+        ));
+    }
+    cases
+}
+
+/// E12 — ablations: SR-primitive receiver energies (Lemmas 7/8 vs the CD
+/// transform) and `Partition(β)` statistics (Lemmas 14/15).
+fn run_ablation(config: &RunConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    // Receiver energy of the two SR primitives on stars of growing degree.
+    for &delta in sizes(config, &[8, 64, 512], &[8, 64]) {
+        let g = star(delta);
+        let senders: Vec<(usize, u32)> = (1..=delta).map(|v| (v, v as u32)).collect();
+        let seeds = config.seeds_for(10);
+        for primitive in ["decay", "cd_transform"] {
+            let measurements = sweep_seeds(seeds, |seed| {
+                let (model, sr, stream) = if primitive == "decay" {
+                    (Model::NoCd, Sr::Decay { delta, sweeps: 20 }, 1)
+                } else {
+                    (
+                        Model::Cd,
+                        Sr::CdTransform {
+                            delta,
+                            epochs: 30,
+                            relevance_check: false,
+                        },
+                        2,
+                    )
+                };
+                let mut sim = Sim::new(g.clone(), model, seed);
+                let got = sr.run(
+                    &mut sim,
+                    &senders,
+                    &[0],
+                    &mut NodeRngs::new(seed, delta + 1, stream),
+                );
+                assert!(got[0].is_some(), "SR delivered nothing (seed {seed})");
+                vec![("receiver_energy", sim.meter().energy(0) as f64)]
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", "star".into()),
+                    ("delta", delta.into()),
+                    ("primitive", primitive.into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    // Partition(β): measured edge-cut fraction vs the 2β bound and
+    // cluster-graph diameter vs the 3βD bound, on a cycle.
+    let n = 512;
+    let g = cycle(n);
+    for beta in [0.1f64, 0.2, 0.3] {
+        let seeds = config.seeds_for(5);
+        let measurements = sweep_seeds(seeds, |seed| {
+            let mut sim = Sim::new(g.clone(), Model::Local, seed);
+            let mut rngs = NodeRngs::new(seed, n, 9);
+            let st = partition_beta(&mut sim, beta, &Sr::Local, &mut rngs);
+            let (cg, _) = st.cluster_graph(&g);
+            vec![
+                ("cut_fraction", st.edge_cut_fraction(&g)),
+                (
+                    "cluster_diameter",
+                    f64::from(cg.diameter_exact().unwrap_or(0)),
+                ),
+            ]
+        });
+        cases.push(Case::new(
+            vec![
+                ("graph", "cycle".into()),
+                ("n", n.into()),
+                ("beta", beta.into()),
+                ("bound_cut_fraction", (2.0 * beta).into()),
+                (
+                    "bound_cluster_diameter",
+                    (3.0 * beta * (n / 2) as f64).into(),
+                ),
+            ],
+            measurements,
+        ));
+    }
+    cases
+}
+
+/// E13 — the baseline gap: BGI decay's `Θ(D)` energy vs Theorem 11's
+/// polylog, on growing rings.
+fn run_baseline_gap(config: &RunConfig) -> Vec<Case> {
+    let t11 = Theorem11Config::default();
+    let mut cases = Vec::new();
+    for &n in sizes(config, &[128, 256, 512, 1024], &[128, 256]) {
+        let g = cycle(n);
+        let seeds = config.seeds_for(2);
+        for (algorithm, is11) in [("theorem11", true), ("bgi_decay", false)] {
+            let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
+                if is11 {
+                    broadcast_theorem11(s, 0, &t11).all_informed()
+                } else {
+                    bgi_decay_broadcast(s, 0, None).all_informed()
+                }
+            });
+            cases.push(Case::new(
+                vec![
+                    ("graph", "cycle".into()),
+                    ("n", n.into()),
+                    ("algorithm", algorithm.into()),
+                    ("model", model_name(Model::NoCd).into()),
+                ],
+                measurements,
+            ));
+        }
+    }
+    cases
+}
+
+fn model_name(model: Model) -> &'static str {
+    match model {
+        Model::NoCd => "no-cd",
+        Model::Cd => "cd",
+        Model::CdStar => "cd-star",
+        Model::Local => "local",
+        Model::Beep => "beep",
+    }
+}
+
+/// Every experiment, in presentation order.
+pub const EXPERIMENTS: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "table1_randomized",
+        title: "Table 1 randomized rows (Theorems 11, 12)",
+        paper: "LOCAL: O(n log n) time, O(log n) energy | No-CD: O(n logΔ log²n), O(logΔ log²n) | CD: O(log²n/(ε loglog n)) energy",
+        note: "times grow ~linearly in n; energies grow polylog (compare log²n)",
+        run: run_table1_randomized,
+    },
+    ExperimentSpec {
+        name: "table1_dtime",
+        title: "Table 1 No-CD row 2 (Theorem 16, D^{1+ε} time)",
+        paper: "O(D^{1+ε} log^{O(1/ε)} n) time vs Theorem 11's O(n logΔ log²n); on grids D = 2√n ≪ n",
+        note: "Theorem 11's time scales with n, Theorem 16's with D·polylog — the gap widens as the grid grows",
+        run: run_table1_dtime,
+    },
+    ExperimentSpec {
+        name: "table1_bounded",
+        title: "Table 1 No-CD row 3 (Corollary 13, Δ = O(1))",
+        paper: "O(n log n) time, O(log n) energy on bounded-degree graphs",
+        note: "Corollary 13's energy grows like log n and undercuts the generic No-CD pipeline",
+        run: run_table1_bounded,
+    },
+    ExperimentSpec {
+        name: "table1_lower",
+        title: "Table 1 lower-bound rows (Theorem 2 reduction on K_{2,k})",
+        paper: "energy ≥ T_LE(Δ, f)/2: Ω(log n) in CD, Ω(logΔ log n) in No-CD",
+        note: "No-CD election time grows with log k; CD stays near-flat (loglog k); broadcast energy dominates the bound",
+        run: run_table1_lower,
+    },
+    ExperimentSpec {
+        name: "table1_cdfast",
+        title: "Table 1 CD row 2 (Theorem 20)",
+        paper: "O(log n (loglogΔ + 1/ξ)/logloglogΔ) energy at O(Δ n^{1+ξ}) time",
+        note: "Theorem 20 buys lower energy with (much) more time, per the paper's tradeoff",
+        run: run_table1_cdfast,
+    },
+    ExperimentSpec {
+        name: "table1_det",
+        title: "Table 1 deterministic rows (Theorems 25, 27)",
+        paper: "LOCAL: O(n log n log N) time, O(log n log N) energy | CD: O(nN² log n log N) time, O(log³N log n) energy",
+        note: "both deterministic energies grow polylog; Theorem 27's clock is polynomial (N² factor)",
+        run: run_table1_det,
+    },
+    ExperimentSpec {
+        name: "fig1_path",
+        title: "Figure 1 & Theorem 21 (the path algorithm)",
+        paper: "worst-case time 2n, expected per-vertex energy O(log n)",
+        note: "time stays under 2n at every size; mean energy tracks log n",
+        run: run_fig1_path,
+    },
+    ExperimentSpec {
+        name: "ablation",
+        title: "Ablations (Lemmas 7/8, 14/15, §5 parameters)",
+        paper: "decay: O(logΔ log 1/f) receiver energy vs CD transform: O(loglogΔ + log 1/f); Partition(β): edge-cut ≤ 2β, diameter ×3β",
+        note: "measured cut fractions sit under 2β; cluster-graph diameters under 3βD",
+        run: run_ablation,
+    },
+    ExperimentSpec {
+        name: "baseline_gap",
+        title: "Baseline gap (BGI decay vs Theorem 11)",
+        paper: "BGI energy grows Θ(D); Theorem 11's grows polylog",
+        note: "doubling n doubles BGI's energy; Theorem 11's is nearly flat (asymptotic claim, large constants)",
+        run: run_baseline_gap,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_names_are_unique_and_kebab_stable() {
+        let mut names: Vec<&str> = EXPERIMENTS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate experiment names");
+        for n in names {
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "name {n:?} is not a stable file stem"
+            );
+        }
+    }
+
+    #[test]
+    fn find_experiment_exact_and_substring() {
+        assert_eq!(
+            find_experiment("table1_randomized").unwrap().name,
+            "table1_randomized"
+        );
+        assert_eq!(find_experiment("path").unwrap().name, "fig1_path");
+        // Ambiguous substring resolves to nothing.
+        assert!(find_experiment("table1").is_none());
+        assert!(find_experiment("nonexistent").is_none());
+    }
+
+    #[test]
+    fn quick_run_emits_schema_stable_json() {
+        let config = RunConfig {
+            seeds: Some(1),
+            quick: true,
+        };
+        let spec = find_experiment("table1_det").unwrap();
+        let result = run_experiment(spec, &config);
+        assert!(!result.cases.is_empty());
+        let doc = result.to_json().to_string_pretty();
+        for key in [
+            "\"schema_version\"",
+            "\"experiment\"",
+            "\"paper_bound\"",
+            "\"config\"",
+            "\"cases\"",
+            "\"params\"",
+            "\"summary\"",
+            "\"measurements\"",
+            "\"energy_max\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn deterministic_experiment_reruns_identically() {
+        let config = RunConfig {
+            seeds: Some(1),
+            quick: true,
+        };
+        let spec = find_experiment("table1_det").unwrap();
+        let a = run_experiment(spec, &config).to_json().to_string_pretty();
+        let b = run_experiment(spec, &config).to_json().to_string_pretty();
+        assert_eq!(a, b);
+    }
+}

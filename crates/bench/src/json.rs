@@ -1,0 +1,241 @@
+//! A minimal, dependency-free JSON document model and serializer.
+//!
+//! The experiment harness emits machine-readable `BENCH_*.json` files; with
+//! no network access to crates.io the workspace cannot pull in
+//! `serde`/`serde_json`, so this module provides the tiny slice actually
+//! needed: building documents and serializing them with **stable field
+//! order** (objects preserve insertion order, so the emitted schema is
+//! byte-stable across runs given equal data).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order for schema stability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite values serialize as `null`, as
+    /// `serde_json` does for lossy float modes).
+    Num(f64),
+    /// An integer, kept separate so counts serialize without a decimal
+    /// point.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (ordered key → value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts `key` into an object, builder style. Panics on non-objects.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Shortest round-trip via Rust's float formatting; force
+                    // a decimal point so the field is typed as float.
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        i64::try_from(i).map_or(Json::Num(i as f64), Json::Int)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        (i as u64).into()
+    }
+}
+
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_order_is_stable() {
+        let doc = Json::obj()
+            .field("zeta", 1u64)
+            .field("alpha", 2u64)
+            .field("mid", Json::obj().field("x", 0.5));
+        let s = doc.to_string_pretty();
+        let zeta = s.find("zeta").unwrap();
+        let alpha = s.find("alpha").unwrap();
+        assert!(zeta < alpha, "insertion order must be preserved:\n{s}");
+    }
+
+    #[test]
+    fn escaping_and_scalars() {
+        let doc = Json::obj()
+            .field("s", "a\"b\\c\nd")
+            .field("t", true)
+            .field("n", Json::Null)
+            .field("i", -3i64)
+            .field("f", 2.0);
+        let s = doc.to_string_pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""), "{s}");
+        assert!(s.contains("\"f\": 2.0"), "{s}");
+        assert!(s.contains("\"i\": -3"), "{s}");
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        let s = Json::obj().field("x", f64::NAN).to_string_pretty();
+        assert!(s.contains("\"x\": null"), "{s}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let s = Json::obj()
+            .field("a", Json::Arr(vec![]))
+            .field("o", Json::obj())
+            .to_string_pretty();
+        assert!(s.contains("\"a\": []"));
+        assert!(s.contains("\"o\": {}"));
+    }
+}

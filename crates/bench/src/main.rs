@@ -1,14 +1,130 @@
-//! Runs the benchmark experiments by name (or all of them).
+//! The experiment CLI.
 //!
-//! `cargo run --release -p ebc-bench` runs everything;
-//! `cargo run --release -p ebc-bench -- e4` runs experiments whose name
-//! contains "e4". The same runners back the `cargo bench` targets.
+//! ```text
+//! cargo run --release -p ebc-bench -- --list
+//! cargo run --release -p ebc-bench -- --experiment table1_randomized --quick
+//! cargo run --release -p ebc-bench -- --seeds 10 --out-dir results/
+//! ```
+//!
+//! With no `--experiment` every registered experiment runs. Each run
+//! prints an aligned table and writes a schema-stable
+//! `BENCH_<experiment>.json` to the output directory.
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    for (name, f) in ebc_bench::ALL {
-        if args.is_empty() || args.iter().any(|a| name.contains(a.as_str())) {
-            f();
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ebc_bench::{find_experiment, ExperimentSpec, RunConfig, EXPERIMENTS};
+
+struct Args {
+    list: bool,
+    experiments: Vec<String>,
+    config: RunConfig,
+    out_dir: PathBuf,
+}
+
+const USAGE: &str = "\
+Usage: ebc-bench [OPTIONS]
+
+Options:
+  --list                 List registered experiments and exit
+  --experiment <NAME>    Run only this experiment (exact name or unique
+                         substring; repeatable). Default: run all.
+  --seeds <N>            Override the per-case seed count
+  --quick                Smaller sweeps and fewer seeds (CI smoke mode)
+  --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
+  --threads <N>          Worker threads for seed sweeps (default: all cores)
+  -h, --help             Show this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        experiments: Vec::new(),
+        config: RunConfig::default(),
+        out_dir: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--experiment" => args.experiments.push(value("--experiment")?),
+            "--seeds" => {
+                let v = value("--seeds")?;
+                args.config.seeds = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --seeds {v:?}"))?,
+                );
+            }
+            "--quick" => args.config.quick = true,
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--threads" => {
+                let v = value("--threads")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --threads {v:?}"))?;
+                // The vendored rayon shim reads this per sweep.
+                std::env::set_var("EBC_NUM_THREADS", n.to_string());
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        println!("{:<20} TITLE", "NAME");
+        for spec in EXPERIMENTS {
+            println!("{:<20} {}", spec.name, spec.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&'static ExperimentSpec> = if args.experiments.is_empty() {
+        EXPERIMENTS.iter().collect()
+    } else {
+        let mut specs = Vec::new();
+        for name in &args.experiments {
+            match find_experiment(name) {
+                Some(spec) => specs.push(spec),
+                None => {
+                    eprintln!("error: no unique experiment matches {name:?} (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        specs
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("error: cannot create {}: {e}", args.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    for spec in selected {
+        match ebc_bench::run_to_files(spec, &args.config, &args.out_dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing results for {}: {e}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,296 @@
+//! The measurement layer: parallel seed sweeps producing typed
+//! [`Measurement`]s, aggregated into [`Summary`] statistics.
+//!
+//! Every experiment case boils down to "run this simulation under `seeds`
+//! master seeds and aggregate the metrics". [`sweep_seeds`] runs the seeds
+//! in parallel (rayon-style `into_par_iter`, one chunk per core) — the
+//! sweeps are embarrassingly parallel because each seed builds its own
+//! [`Sim`] from a shared immutable [`Graph`].
+
+use ebc_radio::{Graph, Model, Sim};
+use rayon::prelude::*;
+
+use crate::json::Json;
+
+/// How an experiment run is configured (from the CLI).
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Master seeds per case; `None` uses each case's default.
+    pub seeds: Option<u64>,
+    /// Quick mode: smaller sweeps and fewer seeds, for CI smoke runs.
+    pub quick: bool,
+}
+
+impl RunConfig {
+    /// The seed count to use when a case defaults to `full` seeds
+    /// (quick mode halves it, to a floor of one).
+    pub fn seeds_for(&self, full: u64) -> u64 {
+        let base = self.seeds.unwrap_or(full);
+        if self.quick && self.seeds.is_none() {
+            (base / 2).max(1)
+        } else {
+            base.max(1)
+        }
+    }
+}
+
+/// One simulated run: a master seed and the metrics it produced.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The master seed of this run.
+    pub seed: u64,
+    /// Named metric values, in a fixed per-experiment order.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl Measurement {
+    /// The value of metric `name`, if recorded.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj().field("seed", self.seed);
+        for (k, v) in &self.metrics {
+            obj = obj.field(k, *v);
+        }
+        obj
+    }
+}
+
+/// Aggregate statistics of one metric over a case's seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Stats {
+    /// Aggregates `values` (empty input yields all-NaN stats).
+    pub fn from_values(values: &[f64]) -> Stats {
+        if values.is_empty() {
+            return Stats {
+                mean: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                std_dev: f64::NAN,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Stats {
+            mean,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std_dev: var.sqrt(),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .field("mean", self.mean)
+            .field("min", self.min)
+            .field("max", self.max)
+            .field("std_dev", self.std_dev)
+    }
+}
+
+/// Per-metric [`Stats`] over all of a case's measurements.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `(metric name, stats)` in the experiment's metric order.
+    pub metrics: Vec<(&'static str, Stats)>,
+}
+
+impl Summary {
+    /// Aggregates a batch of measurements metric-by-metric.
+    pub fn from_measurements(measurements: &[Measurement]) -> Summary {
+        let mut metrics: Vec<(&'static str, Vec<f64>)> = Vec::new();
+        for m in measurements {
+            for (k, v) in &m.metrics {
+                match metrics.iter_mut().find(|(name, _)| name == k) {
+                    Some((_, vals)) => vals.push(*v),
+                    None => metrics.push((k, vec![*v])),
+                }
+            }
+        }
+        Summary {
+            metrics: metrics
+                .into_iter()
+                .map(|(k, vals)| (k, Stats::from_values(&vals)))
+                .collect(),
+        }
+    }
+
+    /// The stats of metric `name`, if present.
+    pub fn metric(&self, name: &str) -> Option<Stats> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, s)| *s)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (k, s) in &self.metrics {
+            obj = obj.field(k, s.to_json());
+        }
+        obj
+    }
+}
+
+/// One experiment case: a parameter point and its sweep results.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The parameter assignment (e.g. `n`, `model`, `algorithm`).
+    pub params: Vec<(&'static str, Json)>,
+    /// Per-seed measurements, in seed order.
+    pub measurements: Vec<Measurement>,
+    /// Aggregates over the measurements.
+    pub summary: Summary,
+}
+
+impl Case {
+    /// Builds a case from its parameter point and measurements.
+    pub fn new(params: Vec<(&'static str, Json)>, measurements: Vec<Measurement>) -> Case {
+        let summary = Summary::from_measurements(&measurements);
+        Case {
+            params,
+            measurements,
+            summary,
+        }
+    }
+
+    /// Serializes the case (params, summary, then raw measurements).
+    pub fn to_json(&self) -> Json {
+        let mut params = Json::obj();
+        for (k, v) in &self.params {
+            params = params.field(k, v.clone());
+        }
+        Json::obj()
+            .field("params", params)
+            .field("summary", self.summary.to_json())
+            .field(
+                "measurements",
+                Json::Arr(self.measurements.iter().map(Measurement::to_json).collect()),
+            )
+    }
+}
+
+/// The master seed of sweep index `i` (0-based).
+///
+/// Seeds start at 1000 rather than 0 so master seeds never collide with
+/// the raw indices some algorithms use for internal streams.
+pub fn master_seed(i: u64) -> u64 {
+    1000 + i
+}
+
+/// Runs `f` once per master seed (`master_seed(0..seeds)`), in parallel,
+/// collecting in sweep order. Each [`Measurement`] records the master
+/// seed it actually ran with, so a run can be reproduced from the JSON.
+pub fn sweep_seeds<F>(seeds: u64, f: F) -> Vec<Measurement>
+where
+    F: Fn(u64) -> Vec<(&'static str, f64)> + Sync,
+{
+    (0..seeds)
+        .into_par_iter()
+        .map(|i| {
+            let seed = master_seed(i);
+            Measurement {
+                seed,
+                metrics: f(seed),
+            }
+        })
+        .collect()
+}
+
+/// The standard broadcast sweep: one [`Sim`] per seed on a shared graph,
+/// asserting the run succeeds, reporting the standard metric set
+/// (`time`, `energy_max`, `energy_mean`, `energy_p95`, `energy_total`).
+pub fn sweep_broadcast<F>(graph: &Graph, model: Model, seeds: u64, f: F) -> Vec<Measurement>
+where
+    F: Fn(&mut Sim) -> bool + Sync,
+{
+    sweep_seeds(seeds, |seed| {
+        let mut sim = Sim::new(graph.clone(), model, seed);
+        assert!(f(&mut sim), "broadcast run failed (seed {seed})");
+        let r = sim.meter().report();
+        vec![
+            ("time", r.time as f64),
+            ("energy_max", r.max as f64),
+            ("energy_mean", r.mean),
+            ("energy_p95", r.p95 as f64),
+            ("energy_total", r.total as f64),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let s = Stats::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stats_of_empty_are_nan() {
+        let s = Stats::from_values(&[]);
+        assert!(s.mean.is_nan() && s.min.is_nan() && s.max.is_nan());
+    }
+
+    #[test]
+    fn sweep_seeds_is_deterministic_and_ordered() {
+        let f = |seed: u64| vec![("x", seed as f64)];
+        let a = sweep_seeds(8, f);
+        let b = sweep_seeds(8, f);
+        assert_eq!(a.len(), 8);
+        for (i, (ma, mb)) in a.iter().zip(&b).enumerate() {
+            // The recorded seed IS the master seed the run used.
+            assert_eq!(ma.seed, master_seed(i as u64));
+            assert_eq!(ma.metric("x"), mb.metric("x"));
+            assert_eq!(ma.metric("x"), Some(ma.seed as f64));
+        }
+    }
+
+    #[test]
+    fn summary_groups_metrics_across_seeds() {
+        let ms = sweep_seeds(4, |seed| vec![("t", seed as f64), ("e", 2.0)]);
+        let summary = Summary::from_measurements(&ms);
+        assert_eq!(summary.metrics.len(), 2);
+        assert_eq!(summary.metric("e").unwrap().mean, 2.0);
+        assert_eq!(summary.metric("t").unwrap().min, 1000.0);
+        assert_eq!(summary.metric("t").unwrap().max, 1003.0);
+        assert!(summary.metric("missing").is_none());
+    }
+
+    #[test]
+    fn quick_mode_halves_default_seeds_only() {
+        let quick = RunConfig {
+            seeds: None,
+            quick: true,
+        };
+        assert_eq!(quick.seeds_for(10), 5);
+        assert_eq!(quick.seeds_for(1), 1);
+        let pinned = RunConfig {
+            seeds: Some(7),
+            quick: true,
+        };
+        assert_eq!(pinned.seeds_for(10), 7);
+    }
+}

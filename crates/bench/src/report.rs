@@ -1,0 +1,140 @@
+//! Human-readable rendering of experiment results: one aligned table per
+//! experiment (params on the left, metric summaries on the right), the
+//! paper bound above, the expected shape below.
+
+use crate::experiments::ExperimentResult;
+use crate::json::Json;
+
+/// Renders `result` as an aligned text table.
+pub fn render(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n=== {} — {} ===\n",
+        result.spec.name, result.spec.title
+    ));
+    out.push_str(&format!("paper: {}\n", result.spec.paper));
+
+    // Column layout: union of param keys, then union of metric names.
+    let mut param_keys: Vec<&'static str> = Vec::new();
+    let mut metric_keys: Vec<&'static str> = Vec::new();
+    for case in &result.cases {
+        for (k, _) in &case.params {
+            if !param_keys.contains(k) {
+                param_keys.push(k);
+            }
+        }
+        for (k, _) in &case.summary.metrics {
+            if !metric_keys.contains(k) {
+                metric_keys.push(k);
+            }
+        }
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let header: Vec<String> = param_keys
+        .iter()
+        .map(|k| k.to_string())
+        .chain(metric_keys.iter().map(|k| format!("{k} (mean)")))
+        .collect();
+    for case in &result.cases {
+        let mut row: Vec<String> = Vec::new();
+        for key in &param_keys {
+            row.push(
+                case.params
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(String::new(), |(_, v)| render_param(v)),
+            );
+        }
+        for key in &metric_keys {
+            row.push(case.summary.metric(key).map_or(String::new(), |s| {
+                if s.min == s.max {
+                    format_num(s.mean)
+                } else {
+                    format!("{} ±{}", format_num(s.mean), format_num(s.std_dev))
+                }
+            }));
+        }
+        rows.push(row);
+    }
+
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r[i].chars().count())
+                .max()
+                .unwrap_or(0)
+                .max(h.chars().count())
+        })
+        .collect();
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&render_row(&header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out.push_str(&format!("shape: {}\n", result.spec.note));
+    out
+}
+
+fn render_param(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Int(i) => i.to_string(),
+        Json::Num(x) => format_num(*x),
+        Json::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn format_num(x: f64) -> String {
+    if !x.is_finite() {
+        "-".to_string()
+    } else if x == x.trunc() && x.abs() < 1e12 {
+        format!("{x:.0}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{find_experiment, run_experiment};
+    use crate::measure::RunConfig;
+
+    #[test]
+    fn render_contains_params_and_metrics() {
+        let config = RunConfig {
+            seeds: Some(1),
+            quick: true,
+        };
+        let result = run_experiment(find_experiment("table1_det").unwrap(), &config);
+        let text = render(&result);
+        assert!(text.contains("theorem25"), "{text}");
+        assert!(text.contains("energy_max"), "{text}");
+        assert!(text.contains("shape:"), "{text}");
+    }
+
+    #[test]
+    fn format_num_is_compact() {
+        assert_eq!(format_num(1234.0), "1234");
+        assert_eq!(format_num(1234.5), "1234.5");
+        assert_eq!(format_num(0.25), "0.250");
+        assert_eq!(format_num(f64::NAN), "-");
+    }
+}

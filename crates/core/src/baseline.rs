@@ -96,11 +96,7 @@ impl SlotBehavior<u8> for BgiBehavior<'_> {
 /// listen continuously. `sweeps` defaults to `2D + O(log n)` (enough
 /// w.h.p.); time is `sweeps · (⌈log Δ⌉ + 1)` slots, and the last vertices
 /// to be informed spend energy close to the full running time.
-pub fn bgi_decay_broadcast(
-    sim: &mut Sim,
-    source: NodeId,
-    sweeps: Option<u32>,
-) -> BroadcastOutcome {
+pub fn bgi_decay_broadcast(sim: &mut Sim, source: NodeId, sweeps: Option<u32>) -> BroadcastOutcome {
     assert!(
         matches!(sim.model(), Model::NoCd | Model::Cd | Model::CdStar),
         "bgi runs on collision channels"

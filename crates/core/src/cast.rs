@@ -174,6 +174,7 @@ pub fn broadcast_with_labeling(
 /// With all SR rounds succeeding, the result is a good labeling in which
 /// each old layer-0 vertex remains layer-0 with probability at most
 /// `p + (1−p)^{min(s+1,w)}` (`w` = #old roots), and no new roots appear.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn relabel(
     sim: &mut Sim,
     labeling: &Labeling,
@@ -188,9 +189,9 @@ pub fn relabel(
     assert!((0.0..=1.0).contains(&p));
     let n = labeling.n();
     let mut newl: Vec<Option<u32>> = vec![None; n];
-    for v in 0..n {
+    for (v, slot) in newl.iter_mut().enumerate() {
         if labeling.label(v) == 0 && coin_rngs.get(v).gen_bool(p) {
-            newl[v] = Some(0);
+            *slot = Some(0);
         }
     }
     relabel_from(sim, labeling, newl, s, layer_bound, sr, rngs)
@@ -245,9 +246,7 @@ fn relabel_from(
         }
     };
     let all = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
-        let senders: Vec<(NodeId, u32)> = (0..n)
-            .filter_map(|v| newl[v].map(|m| (v, m)))
-            .collect();
+        let senders: Vec<(NodeId, u32)> = (0..n).filter_map(|v| newl[v].map(|m| (v, m))).collect();
         let receivers: Vec<NodeId> = (0..n).filter(|&v| newl[v].is_none()).collect();
         for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
             newl[v] = Some(m + 1);
@@ -311,7 +310,10 @@ mod tests {
         let g = path(8);
         let (mut sim, mut rngs, _) = setup(g, Model::NoCd, 2);
         let l = Labeling::from_labels((0..8).map(|v| v as u32).collect());
-        let sr = Sr::Decay { delta: 2, sweeps: 12 };
+        let sr = Sr::Decay {
+            delta: 2,
+            sweeps: 12,
+        };
         let out = broadcast_with_labeling(&mut sim, &l, 7, 8, 0, &sr, &mut rngs);
         assert!(out.all_informed());
     }
@@ -368,7 +370,10 @@ mod tests {
     fn relabel_with_decay_nocd() {
         let g = cycle(12);
         let (mut sim, mut rngs, mut coins) = setup(g.clone(), Model::NoCd, 6);
-        let sr = Sr::Decay { delta: 2, sweeps: 15 };
+        let sr = Sr::Decay {
+            delta: 2,
+            sweeps: 15,
+        };
         let mut l = Labeling::all_zero(12);
         for _ in 0..12 {
             l = relabel(&mut sim, &l, 0.5, 1, 12, &sr, &mut rngs, &mut coins);

@@ -77,11 +77,7 @@ impl Colorings {
 /// For `j = 1..c`, `k = 1..num_colors`: every vertex whose `j`-th color is
 /// `k` speaks; every vertex whose parent's `j`-th color is `k` listens.
 /// The first `j` with a clean reception is `Ind`.
-pub fn lemma19_ind(
-    sim: &mut Sim,
-    st: &DetClusterState,
-    colors: &Colorings,
-) -> Vec<Option<u32>> {
+pub fn lemma19_ind(sim: &mut Sim, st: &DetClusterState, colors: &Colorings) -> Vec<Option<u32>> {
     let n = st.cid.len();
     let mut ind: Vec<Option<u32>> = vec![None; n];
     for j in 0..colors.c {
@@ -90,10 +86,9 @@ pub fn lemma19_ind(
         for v in 0..n {
             by_color[colors.get(j, v) as usize].push(v);
         }
-        let mut listeners_by_color: Vec<Vec<NodeId>> =
-            vec![Vec::new(); colors.num_colors as usize];
-        for v in 0..n {
-            if ind[v].is_none() {
+        let mut listeners_by_color: Vec<Vec<NodeId>> = vec![Vec::new(); colors.num_colors as usize];
+        for (v, i) in ind.iter().enumerate() {
+            if i.is_none() {
                 if let Some(p) = st.parent[v] {
                     listeners_by_color[colors.get(j, p) as usize].push(v);
                 }
@@ -107,8 +102,7 @@ pub fn lemma19_ind(
                 continue;
             }
             let mut heard: Vec<bool> = vec![false; listeners.len()];
-            let sender_set: std::collections::HashSet<NodeId> =
-                senders.iter().copied().collect();
+            let sender_set: std::collections::HashSet<NodeId> = senders.iter().copied().collect();
             let mut behavior = ebc_radio::from_fns(
                 |u, _t| {
                     if sender_set.contains(&u) {
@@ -130,7 +124,12 @@ pub fn lemma19_ind(
             let participants: Vec<NodeId> = senders
                 .iter()
                 .copied()
-                .chain(listeners.iter().copied().filter(|u| !sender_set.contains(u)))
+                .chain(
+                    listeners
+                        .iter()
+                        .copied()
+                        .filter(|u| !sender_set.contains(u)),
+                )
                 .collect();
             sim.run(&participants, 1, &mut behavior);
             drop(behavior);
@@ -160,8 +159,7 @@ fn colored_down(
     let max_layer = st.max_layer_pub();
     for layer in 0..=max_layer {
         for j in 0..colors.c {
-            let mut send_by_color: Vec<Vec<NodeId>> =
-                vec![Vec::new(); colors.num_colors as usize];
+            let mut send_by_color: Vec<Vec<NodeId>> = vec![Vec::new(); colors.num_colors as usize];
             for v in 0..n {
                 if st.labeling.label(v) == layer && msgs[v].is_some() {
                     send_by_color[colors.get(j, v) as usize].push(v);
@@ -169,8 +167,8 @@ fn colored_down(
             }
             let mut listen_by_color: Vec<Vec<NodeId>> =
                 vec![Vec::new(); colors.num_colors as usize];
-            for u in 0..n {
-                if st.labeling.label(u) == layer + 1 && ind[u] == Some(j) {
+            for (u, i) in ind.iter().enumerate() {
+                if st.labeling.label(u) == layer + 1 && *i == Some(j) {
                     if let Some(p) = st.parent[u] {
                         listen_by_color[colors.get(j, p) as usize].push(u);
                     }
@@ -183,8 +181,10 @@ fn colored_down(
                     sim.skip(1);
                     continue;
                 }
-                let sender_msg: std::collections::HashMap<NodeId, u64> =
-                    senders.iter().map(|&v| (v, msgs[v].expect("holder"))).collect();
+                let sender_msg: std::collections::HashMap<NodeId, u64> = senders
+                    .iter()
+                    .map(|&v| (v, msgs[v].expect("holder")))
+                    .collect();
                 let mut heard: Vec<Option<u64>> = vec![None; listeners.len()];
                 let mut behavior = ebc_radio::from_fns(
                     |u, _t| match sender_msg.get(&u) {
@@ -201,7 +201,12 @@ fn colored_down(
                 let participants: Vec<NodeId> = senders
                     .iter()
                     .copied()
-                    .chain(listeners.iter().copied().filter(|u| !sender_msg.contains_key(u)))
+                    .chain(
+                        listeners
+                            .iter()
+                            .copied()
+                            .filter(|u| !sender_msg.contains_key(u)),
+                    )
                     .collect();
                 sim.run(&participants, 1, &mut behavior);
                 drop(behavior);
@@ -254,8 +259,7 @@ fn colored_up(
                     }
                 }
             }
-            let mut recv_by_color: Vec<Vec<NodeId>> =
-                vec![Vec::new(); colors.num_colors as usize];
+            let mut recv_by_color: Vec<Vec<NodeId>> = vec![Vec::new(); colors.num_colors as usize];
             for v in 0..n {
                 if st.labeling.label(v) + 1 == layer {
                     recv_by_color[colors.get(j, v) as usize].push(v);
@@ -360,7 +364,14 @@ pub fn broadcast_theorem20(
             break;
         }
         st = merge_round(
-            sim, &st, &colors, epochs, p, s, &mut rngs, 0x20_0000 + u64::from(iter),
+            sim,
+            &st,
+            &colors,
+            epochs,
+            p,
+            s,
+            &mut rngs,
+            0x20_0000 + u64::from(iter),
         );
         debug_assert!(st.is_valid(sim.graph()), "invalid state at iter {iter}");
     }
@@ -472,12 +483,21 @@ fn merge_round(
                 msgs[v] = Some(pack3(u64::from(l), grp, v as u64 + 1));
             }
         }
-        colored_up(sim, st, colors, &ind, epochs, rngs, &mut msgs, |msgs, v, m| {
-            msgs[v] = Some(match msgs[v] {
-                Some(old) => old.min(m),
-                None => m,
-            });
-        });
+        colored_up(
+            sim,
+            st,
+            colors,
+            &ind,
+            epochs,
+            rngs,
+            &mut msgs,
+            |msgs, v, m| {
+                msgs[v] = Some(match msgs[v] {
+                    Some(old) => old.min(m),
+                    None => m,
+                });
+            },
+        );
         // Roots announce winners down their trees.
         let mut announced: Vec<Option<u64>> = (0..n)
             .map(|v| {
@@ -509,19 +529,28 @@ fn merge_round(
             let announced_ref = &announced;
             let labeled_ref = &mut labeled;
             let group_ref = &mut group;
-            colored_up(sim, st, colors, &ind, epochs, rngs, &mut labmsg, |msgs, v, m| {
-                if labeled_ref[v] || announced_ref[v].is_none() {
-                    return;
-                }
-                let l = m >> bits_id;
-                let child = ((m & ((1 << bits_id) - 1)) - 1) as NodeId;
-                let (_, wgrp, _) = unpack3(announced_ref[v].expect("checked"));
-                group_ref[v] = wgrp;
-                newlab[v] = l as u32 + 1;
-                newpar[v] = Some(child);
-                labeled_ref[v] = true;
-                msgs[v] = Some((u64::from(newlab[v]) << bits_id) | (v as u64 + 1));
-            });
+            colored_up(
+                sim,
+                st,
+                colors,
+                &ind,
+                epochs,
+                rngs,
+                &mut labmsg,
+                |msgs, v, m| {
+                    if labeled_ref[v] || announced_ref[v].is_none() {
+                        return;
+                    }
+                    let l = m >> bits_id;
+                    let child = ((m & ((1 << bits_id) - 1)) - 1) as NodeId;
+                    let (_, wgrp, _) = unpack3(announced_ref[v].expect("checked"));
+                    group_ref[v] = wgrp;
+                    newlab[v] = l as u32 + 1;
+                    newpar[v] = Some(child);
+                    labeled_ref[v] = true;
+                    msgs[v] = Some((u64::from(newlab[v]) << bits_id) | (v as u64 + 1));
+                },
+            );
             colored_down(sim, st, colors, &ind, &mut labmsg, |msgs, v, m| {
                 if labeled_ref[v] || announced_ref[v].is_none() {
                     return;
@@ -535,8 +564,8 @@ fn merge_round(
             });
         }
         // Merged clusters turn Active for the next step.
-        for v in 0..n {
-            if labeled[v] {
+        for (v, &was_labeled) in labeled.iter().enumerate() {
+            if was_labeled {
                 cl_state.insert(st.cid[v], ClState::Active);
             }
         }
@@ -620,7 +649,11 @@ mod tests {
 
     #[test]
     fn theorem20_informs_everyone_on_small_graphs() {
-        for (name, g) in [("path", path(16)), ("cycle", cycle(16)), ("grid", grid(4, 4))] {
+        for (name, g) in [
+            ("path", path(16)),
+            ("cycle", cycle(16)),
+            ("grid", grid(4, 4)),
+        ] {
             let mut sim = Sim::new(g, Model::Cd, 11);
             let out = broadcast_theorem20(&mut sim, 0, &Theorem20Config::default());
             assert!(out.all_informed(), "{name}");

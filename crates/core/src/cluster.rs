@@ -24,7 +24,6 @@
 use ebc_radio::rng::{cluster_rng, splitmix64};
 use ebc_radio::{NodeId, Sim};
 
-
 use crate::cast::{broadcast_with_labeling, sr_round};
 use crate::labeling::Labeling;
 use crate::srcomm::Sr;
@@ -65,9 +64,8 @@ impl ClusterState {
         (0..g.n()).all(|v| {
             let l = self.labeling.label(v);
             l == 0
-                || g.neighbors(v).any(|u| {
-                    self.cid[u] == self.cid[v] && self.labeling.label(u) + 1 == l
-                })
+                || g.neighbors(v)
+                    .any(|u| self.cid[u] == self.cid[v] && self.labeling.label(u) + 1 == l)
         })
     }
 
@@ -126,12 +124,7 @@ impl ClusterState {
 /// # Panics
 ///
 /// Panics if `beta` is not in `(0, 1)`.
-pub fn partition_beta(
-    sim: &mut Sim,
-    beta: f64,
-    sr: &Sr,
-    rngs: &mut NodeRngs,
-) -> ClusterState {
+pub fn partition_beta(sim: &mut Sim, beta: f64, sr: &Sr, rngs: &mut NodeRngs) -> ClusterState {
     assert!(beta > 0.0 && beta < 1.0);
     let n = sim.graph().n();
     let epochs = ((2.0 * ceil_log2(n.max(2)) as f64) / beta).ceil() as u64;
@@ -172,10 +165,7 @@ pub fn partition_beta(
 enum CMsg {
     /// A merge offer from a super-clustered vertex: join super-cluster
     /// `scid`; the receiver's layer would be `slayer + 1`.
-    Offer {
-        scid: u64,
-        slayer: u32,
-    },
+    Offer { scid: u64, slayer: u32 },
     /// Election candidate / announcement inside cluster `cid`: `vstar`
     /// accepted an offer into `scid` at layer `slayer`.
     Cand {
@@ -185,10 +175,7 @@ enum CMsg {
         slayer: u32,
     },
     /// A new-label broadcast inside cluster `cid`.
-    Lab {
-        cid: u64,
-        label: u32,
-    },
+    Lab { cid: u64, label: u32 },
 }
 
 /// One Lemma 17-style subsampled SR sweep: groups (clusters) are active in
@@ -380,7 +367,10 @@ pub fn iterate_partition(
                 rngs,
             ) {
                 if let CMsg::Cand {
-                    vstar, scid, slayer, ..
+                    vstar,
+                    scid,
+                    slayer,
+                    ..
                 } = m
                 {
                     // Keep the first candidate heard (roots pick any one).
@@ -432,7 +422,10 @@ pub fn iterate_partition(
                 rngs,
             ) {
                 if let CMsg::Cand {
-                    vstar, scid, slayer, ..
+                    vstar,
+                    scid,
+                    slayer,
+                    ..
                 } = m
                 {
                     winner[v] = Some((vstar, scid, slayer));
@@ -444,17 +437,16 @@ pub fn iterate_partition(
         let mut newlab: Vec<Option<(u64, u32)>> = vec![None; n];
         for v in 0..n {
             if let Some((vs, c, l)) = winner[v] {
-                if vs == v && scid[v].is_none() && pending.get(&v).map(|&(pc, _)| pc) == Some(c)
-                {
+                if vs == v && scid[v].is_none() && pending.get(&v).map(|&(pc, _)| pc) == Some(c) {
                     newlab[v] = Some((c, l));
                 }
             }
         }
         let relabel_pass = |sim: &mut Sim,
-                                newlab: &mut Vec<Option<(u64, u32)>>,
-                                rngs: &mut NodeRngs,
-                                upward: bool,
-                                tag: u64| {
+                            newlab: &mut Vec<Option<(u64, u32)>>,
+                            rngs: &mut NodeRngs,
+                            upward: bool,
+                            tag: u64| {
             let range: Vec<usize> = if upward {
                 (1..lb).rev().collect()
             } else {
@@ -511,9 +503,7 @@ pub fn iterate_partition(
     }
     // Fallback (never needed when all SR rounds succeed): retain the old
     // structure for any vertex the w.h.p. guarantees missed.
-    let cid: Vec<u64> = (0..n)
-        .map(|v| scid[v].unwrap_or(state.cid[v]))
-        .collect();
+    let cid: Vec<u64> = (0..n).map(|v| scid[v].unwrap_or(state.cid[v])).collect();
     let labels: Vec<u32> = (0..n)
         .map(|v| slab[v].unwrap_or_else(|| state.labeling.label(v)))
         .collect();

@@ -269,9 +269,8 @@ fn ruling_set_cd(
                 .filter(|&v| zero_side.contains(&st.cid[v]))
                 .map(|v| (v, 1))
                 .collect();
-            let receivers: Vec<NodeId> = (0..n)
-                .filter(|&v| one_side.contains(&st.cid[v]))
-                .collect();
+            let receivers: Vec<NodeId> =
+                (0..n).filter(|&v| one_side.contains(&st.cid[v])).collect();
             let heard = det_sr(sim, &senders, &receivers, 2);
             // OR-convergecast within each 1-side cluster.
             let mut msgs: Vec<Option<u64>> = vec![None; n];
@@ -283,11 +282,8 @@ fn ruling_set_cd(
             up_sweep(sim, st, ids, id_space, 2, &mut msgs, |msgs, v, _m| {
                 msgs[v] = Some(1);
             });
-            for v in 0..n {
-                if st.labeling.label(v) == 0
-                    && one_side.contains(&st.cid[v])
-                    && msgs[v] == Some(1)
-                {
+            for (v, m) in msgs.iter().enumerate() {
+                if st.labeling.label(v) == 0 && one_side.contains(&st.cid[v]) && *m == Some(1) {
                     alive.remove(&st.cid[v]);
                 }
             }
@@ -336,7 +332,10 @@ pub fn broadcast_det_cd(sim: &mut Sim, source: NodeId, cfg: &DetCdConfig) -> Bro
     {
         let mut seen = std::collections::HashSet::new();
         for &id in &ids {
-            assert!((1..=id_space).contains(&id), "ID {id} outside 1..={id_space}");
+            assert!(
+                (1..=id_space).contains(&id),
+                "ID {id} outside 1..={id_space}"
+            );
             assert!(seen.insert(id), "duplicate ID {id}");
         }
     }
@@ -389,8 +388,18 @@ fn merge_into_ruling(
             break;
         }
         run_merge_round(
-            sim, st, ids, id_space, &offer_p, &cand_p, &lab_p, vertex_of_id, &mut scid,
-            &mut newlab, &mut newpar, None,
+            sim,
+            st,
+            ids,
+            id_space,
+            &offer_p,
+            &cand_p,
+            &lab_p,
+            vertex_of_id,
+            &mut scid,
+            &mut newlab,
+            &mut newpar,
+            None,
         );
     }
     // Singleton pass: ruling clusters that absorbed nobody re-merge into a
@@ -398,8 +407,8 @@ fn merge_into_ruling(
     // non-adjacent because the ruling set is independent).
     let mut absorbed: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
         Default::default();
-    for v in 0..n {
-        if let Some(c) = scid[v] {
+    for (v, sc) in scid.iter().enumerate() {
+        if let Some(c) = *sc {
             absorbed.entry(c).or_default().insert(st.cid[v]);
         }
     }
@@ -409,14 +418,24 @@ fn merge_into_ruling(
         .map(|(&c, _)| c)
         .collect();
     if !singletons.is_empty() && absorbed.len() > singletons.len() {
-        for v in 0..n {
-            if scid[v].map(|c| singletons.contains(&c)) == Some(true) {
-                scid[v] = None;
+        for sc in scid.iter_mut() {
+            if sc.map(|c| singletons.contains(&c)) == Some(true) {
+                *sc = None;
             }
         }
         run_merge_round(
-            sim, st, ids, id_space, &offer_p, &cand_p, &lab_p, vertex_of_id, &mut scid,
-            &mut newlab, &mut newpar, Some(&singletons),
+            sim,
+            st,
+            ids,
+            id_space,
+            &offer_p,
+            &cand_p,
+            &lab_p,
+            vertex_of_id,
+            &mut scid,
+            &mut newlab,
+            &mut newpar,
+            Some(&singletons),
         );
     }
     DetClusterState {
@@ -437,7 +456,7 @@ fn run_merge_round(
     cand_p: &Packer,
     lab_p: &Packer,
     vertex_of_id: &std::collections::HashMap<u64, NodeId>,
-    scid: &mut Vec<Option<u64>>,
+    scid: &mut [Option<u64>],
     newlab: &mut [u32],
     newpar: &mut [Option<NodeId>],
     exclude_senders: Option<&std::collections::HashSet<u64>>,
@@ -515,7 +534,7 @@ fn run_merge_round(
         }
     }
     {
-        let scid_ref: &mut Vec<Option<u64>> = scid;
+        let scid_ref: &mut [Option<u64>] = scid;
         let announced_ref = &announced;
         let labeled_ref = &mut labeled;
         up_sweep(

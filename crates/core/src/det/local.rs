@@ -148,21 +148,12 @@ pub fn gl_ruling_set(
 }
 
 /// Parameters of the Theorem 25 driver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DetLocalConfig {
     /// Distinct IDs per vertex in `{1, …, id_space}`; `None` → `v + 1`.
     pub ids: Option<Vec<u64>>,
     /// The ID space bound `N`.
     pub id_space: Option<u64>,
-}
-
-impl Default for DetLocalConfig {
-    fn default() -> Self {
-        DetLocalConfig {
-            ids: None,
-            id_space: None,
-        }
-    }
 }
 
 /// Theorem 25: deterministic LOCAL broadcast in `O(n log n log N)` time
@@ -186,7 +177,10 @@ pub fn broadcast_det_local(
     {
         let mut seen = std::collections::HashSet::new();
         for &id in &ids {
-            assert!((1..=id_space).contains(&id), "ID {id} outside 1..={id_space}");
+            assert!(
+                (1..=id_space).contains(&id),
+                "ID {id} outside 1..={id_space}"
+            );
             assert!(seen.insert(id), "duplicate ID {id}");
         }
     }
@@ -210,7 +204,15 @@ pub fn broadcast_det_local(
             &mut rngs,
         );
     }
-    broadcast_with_labeling(sim, &labeling, source, layer_bound, 1, &Sr::Local, &mut rngs)
+    broadcast_with_labeling(
+        sim,
+        &labeling,
+        source,
+        layer_bound,
+        1,
+        &Sr::Local,
+        &mut rngs,
+    )
 }
 
 #[cfg(test)]

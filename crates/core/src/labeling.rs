@@ -138,9 +138,9 @@ impl Labeling {
             }
         }
         let mut edges = Vec::new();
-        for i in 0..w {
+        for (i, row) in adj.iter().enumerate() {
             for j in i + 1..w {
-                if adj[i][j / 64] >> (j % 64) & 1 == 1 {
+                if row[j / 64] >> (j % 64) & 1 == 1 {
                     edges.push((i, j));
                 }
             }

@@ -70,3 +70,61 @@ impl BroadcastOutcome {
         self.informed.iter().filter(|&&b| b).count()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::BroadcastOutcome;
+
+    #[test]
+    fn outcome_all_informed_and_count() {
+        let out = BroadcastOutcome {
+            informed: vec![true, true, true],
+            source: 0,
+        };
+        assert!(out.all_informed());
+        assert_eq!(out.count(), 3);
+    }
+
+    #[test]
+    fn outcome_partial_counts_without_all_informed() {
+        let out = BroadcastOutcome {
+            informed: vec![true, false, true, false],
+            source: 2,
+        };
+        assert!(!out.all_informed());
+        assert_eq!(out.count(), 2);
+    }
+
+    #[test]
+    fn outcome_none_informed() {
+        let out = BroadcastOutcome {
+            informed: vec![false; 5],
+            source: 0,
+        };
+        assert!(!out.all_informed());
+        assert_eq!(out.count(), 0);
+    }
+
+    #[test]
+    fn outcome_of_empty_network_is_vacuously_complete() {
+        // Zero vertices: `all` over an empty set holds, `count` is zero —
+        // callers relying on `count() > 0` must special-case n = 0.
+        let out = BroadcastOutcome {
+            informed: Vec::new(),
+            source: 0,
+        };
+        assert!(out.all_informed());
+        assert_eq!(out.count(), 0);
+    }
+
+    #[test]
+    fn outcome_single_vertex_source_only() {
+        // The degenerate n = 1 broadcast: the source alone is the network.
+        let out = BroadcastOutcome {
+            informed: vec![true],
+            source: 0,
+        };
+        assert!(out.all_informed());
+        assert_eq!(out.count(), 1);
+    }
+}

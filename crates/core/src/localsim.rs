@@ -74,7 +74,11 @@ pub fn learn_degree(sim: &mut Sim, c: f64, rngs: &mut NodeRngs) -> NeighborKnowl
     };
     sim.run(&participants, slots, &mut b);
     NeighborKnowledge {
-        known: b.heard.into_iter().map(|s| s.into_iter().collect()).collect(),
+        known: b
+            .heard
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect(),
     }
 }
 
@@ -87,13 +91,16 @@ struct ColorMsg {
     l: Vec<(NodeId, Option<u32>)>,
 }
 
+/// One neighbor's announced color table: `(neighbor, its color)` pairs.
+type ColorTable = Vec<(NodeId, Option<u32>)>;
+
 struct ColoringState {
     color: Vec<u32>,
     fixed: Vec<bool>,
     /// `l[v]`: v's record of each neighbor's last announced color.
     l: Vec<std::collections::BTreeMap<NodeId, Option<u32>>>,
     /// `copies[v]`: v's copy of each neighbor w's own `L(w)`.
-    copies: Vec<std::collections::BTreeMap<NodeId, Vec<(NodeId, Option<u32>)>>>,
+    copies: Vec<std::collections::BTreeMap<NodeId, ColorTable>>,
 }
 
 struct ColoringBehavior<'a> {
@@ -143,18 +150,12 @@ pub fn two_hop_coloring(
     let iters = iters.unwrap_or(4 * ceil_log2(n.max(2)) + 8);
     // Per iteration: Θ(Δ (log Δ + 1)) announcement slots, plus a margin so
     // each vertex hears each neighbor ~twice (Lemma 5's two coupon phases).
-    let slots_per_iter =
-        (8.0 * delta as f64 * ((ceil_log2(delta + 1) as f64) + 2.0)).ceil() as u64;
+    let slots_per_iter = (8.0 * delta as f64 * ((ceil_log2(delta + 1) as f64) + 2.0)).ceil() as u64;
     let mut state = ColoringState {
         color: vec![0; n],
         fixed: vec![false; n],
         l: (0..n)
-            .map(|v| {
-                knowledge.known[v]
-                    .iter()
-                    .map(|&u| (u, None))
-                    .collect()
-            })
+            .map(|v| knowledge.known[v].iter().map(|&u| (u, None)).collect())
             .collect(),
         copies: vec![Default::default(); n],
     };
@@ -179,9 +180,7 @@ pub fn two_hop_coloring(
                 continue;
             }
             let c = state.color[v];
-            let cond_i = state.l[v]
-                .values()
-                .any(|&e| e.is_none() || e == Some(c));
+            let cond_i = state.l[v].values().any(|&e| e.is_none() || e == Some(c));
             let cond_ii = knowledge.known[v].iter().any(|w| {
                 match state.copies[v].get(w) {
                     None => true, // never heard w's list
@@ -220,7 +219,7 @@ pub fn build_tdma(sim: &mut Sim, rngs: &mut NodeRngs, coin_rngs: &mut NodeRngs) 
     let knowledge = learn_degree(sim, 8.0, rngs);
     let (colors, num_colors) = two_hop_coloring(sim, &knowledge, None, rngs, coin_rngs);
     Sr::Tdma {
-        colors: std::rc::Rc::new(colors),
+        colors: std::sync::Arc::new(colors),
         num_colors,
     }
 }
@@ -228,9 +227,9 @@ pub fn build_tdma(sim: &mut Sim, rngs: &mut NodeRngs, coin_rngs: &mut NodeRngs) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ebc_radio::Model;
     use ebc_graphs::deterministic::{cycle, grid, path};
     use ebc_graphs::random::bounded_degree;
+    use ebc_radio::Model;
 
     fn rngs2(seed: u64, n: usize) -> (NodeRngs, NodeRngs) {
         (NodeRngs::new(seed, n, 20), NodeRngs::new(seed, n, 21))

@@ -282,6 +282,9 @@ impl Protocol<PathMsg> for PathProtocol {
         }
     }
 
+    // Index loop kept: the body borrows `self` (downstream, got_payload)
+    // while mutating `self.insts[v][i]`, which `iter_mut` would forbid.
+    #[allow(clippy::needless_range_loop)]
     fn after_slot(&mut self, v: NodeId, now: Slot, heard: Option<Feedback<PathMsg>>) -> NextWake {
         if v == self.source {
             self.source_done = true;
@@ -414,7 +417,9 @@ pub fn run_path_broadcast(
 ) -> PathRunStats {
     let n = engine.graph().n();
     assert!(
-        n >= 2 && engine.graph().m() == n - 1 && (0..n - 1).all(|v| engine.graph().has_edge(v, v + 1)),
+        n >= 2
+            && engine.graph().m() == n - 1
+            && (0..n - 1).all(|v| engine.graph().has_edge(v, v + 1)),
         "graph must be the 0–1–…–(n−1) path"
     );
     assert!(

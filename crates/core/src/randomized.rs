@@ -31,7 +31,9 @@ use crate::BroadcastOutcome;
 pub fn default_sr_for(model: Model, delta: usize, n: usize) -> Sr {
     let logn = ceil_log2(n.max(2));
     match model {
-        Model::Beep => panic!("the Beep model carries no message content; broadcast needs a messaging model"),
+        Model::Beep => {
+            panic!("the Beep model carries no message content; broadcast needs a messaging model")
+        }
         Model::Local => Sr::Local,
         Model::NoCd => Sr::Decay {
             delta,
@@ -86,9 +88,7 @@ pub fn broadcast_theorem11(
         .sr
         .clone()
         .unwrap_or_else(|| default_sr_for(sim.model(), delta, n));
-    let iters = cfg
-        .relabel_iters
-        .unwrap_or(3 * ceil_log2(n.max(2)) + 16);
+    let iters = cfg.relabel_iters.unwrap_or(3 * ceil_log2(n.max(2)) + 16);
     let layer_bound = n as u32;
     let mut rngs = NodeRngs::new(sim.seed(), n, 0x5e11);
     let mut coins = NodeRngs::new(sim.seed(), n, 0xc011);

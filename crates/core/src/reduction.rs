@@ -194,22 +194,30 @@ where
             },
         };
         for (v, fb) in fbs {
+            // What v can infer about the virtual t's reception. A collision
+            // at t reads as noise in CD but as silence in No-CD.
+            let collision = match model {
+                Model::NoCd => None,
+                _ => Some(false),
+            };
+            let v_sent = senders.binary_search(&v).is_ok();
             let unique = match fb {
                 Feedback::Silence => {
                     // A unique full-duplex transmitter hears silence: its
                     // own send was the one t received.
                     if senders.len() == 1 && senders[0] == v {
                         Some(true)
-                    } else if model == Model::NoCd {
-                        None
                     } else {
-                        // True silence (in CD, collisions read as noise).
                         None
                     }
                 }
+                Feedback::One(_) if v_sent => {
+                    // v's own transmission plus exactly one other: t heard
+                    // a collision, not the payload.
+                    collision
+                }
                 Feedback::One(_) => Some(true),
-                Feedback::Noise | Feedback::Beep => Some(false),
-                Feedback::Many(_) => Some(false),
+                Feedback::Noise | Feedback::Beep | Feedback::Many(_) => collision,
             };
             behaviors[v].observe(unique);
         }
@@ -262,8 +270,7 @@ mod tests {
         let mut total = 0u64;
         let runs = 20;
         for seed in 0..runs {
-            let (res, _) =
-                run_reduction(256, Model::Cd, |_| UniformCdMiddle::new(256), seed, 2000);
+            let (res, _) = run_reduction(256, Model::Cd, |_| UniformCdMiddle::new(256), seed, 2000);
             assert!(res.leader.is_some(), "seed {seed}");
             total += res.slots;
         }
@@ -279,8 +286,7 @@ mod tests {
         let mut no_cd = 0u64;
         let mut cd = 0u64;
         for seed in 0..runs {
-            let (r1, _) =
-                run_reduction(256, Model::NoCd, |_| DecayMiddle::new(256), seed, 20_000);
+            let (r1, _) = run_reduction(256, Model::NoCd, |_| DecayMiddle::new(256), seed, 20_000);
             let (r2, _) =
                 run_reduction(256, Model::Cd, |_| UniformCdMiddle::new(256), seed, 20_000);
             no_cd += r1.slots;
@@ -318,8 +324,7 @@ mod tests {
             let runs = 10;
             let mut tot = 0;
             for seed in 0..runs {
-                let (r, _) =
-                    run_reduction(k, Model::NoCd, |_| DecayMiddle::new(k), seed, 40_000);
+                let (r, _) = run_reduction(k, Model::NoCd, |_| DecayMiddle::new(k), seed, 40_000);
                 tot += r.slots;
             }
             tot as f64 / runs as f64

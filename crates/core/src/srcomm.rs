@@ -64,7 +64,7 @@ pub enum Sr {
     /// TDMA over a proper coloring of `G + G²` (Theorem 3).
     Tdma {
         /// `colors[v]` is the color of vertex `v`.
-        colors: std::rc::Rc<Vec<u32>>,
+        colors: std::sync::Arc<Vec<u32>>,
         /// Number of colors (the TDMA frame length).
         num_colors: u32,
     },
@@ -112,7 +112,9 @@ impl Sr {
     {
         match self {
             Sr::Local => run_local(sim, senders, receivers),
-            Sr::Decay { delta, sweeps } => run_decay(sim, senders, receivers, *delta, *sweeps, rngs),
+            Sr::Decay { delta, sweeps } => {
+                run_decay(sim, senders, receivers, *delta, *sweeps, rngs)
+            }
             Sr::CdTransform {
                 delta,
                 epochs,
@@ -145,13 +147,9 @@ fn run_local<M: Clone + core::fmt::Debug>(
 ) -> Vec<Option<M>> {
     assert_eq!(sim.model(), Model::Local, "Sr::Local needs the LOCAL model");
     let mut got: Vec<Option<M>> = vec![None; receivers.len()];
-    let recv_index: std::collections::HashMap<NodeId, usize> = receivers
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
-    let sender_of: std::collections::HashMap<NodeId, M> =
-        senders.iter().cloned().collect();
+    let recv_index: std::collections::HashMap<NodeId, usize> =
+        receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let sender_of: std::collections::HashMap<NodeId, M> = senders.iter().cloned().collect();
     let participants: Vec<NodeId> = senders
         .iter()
         .map(|(v, _)| *v)
@@ -272,7 +270,12 @@ where
     // any R-neighbor. Irrelevant vertices then idle for the main phase,
     // paying O(1) instead of O(epochs).
     if relevance_check {
-        run_marker_slot(sim, senders.iter().map(|(v, _)| *v), receivers, &mut active_r);
+        run_marker_slot(
+            sim,
+            senders.iter().map(|(v, _)| *v),
+            receivers,
+            &mut active_r,
+        );
         let sender_ids: Vec<NodeId> = senders.iter().map(|(v, _)| *v).collect();
         let mut sender_active_flags = active_s.clone();
         run_marker_slot(
@@ -397,11 +400,8 @@ fn run_marker_slot(
     active: &mut [bool],
 ) {
     let marker_ids: Vec<NodeId> = markers.collect();
-    let check_index: std::collections::HashMap<NodeId, usize> = checkers
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let check_index: std::collections::HashMap<NodeId, usize> =
+        checkers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let participants: Vec<NodeId> = marker_ids
         .iter()
         .copied()
@@ -515,11 +515,8 @@ pub fn local_gather<M: Clone + core::fmt::Debug>(
         return Vec::new();
     }
     let sender_of: std::collections::HashMap<NodeId, M> = senders.iter().cloned().collect();
-    let recv_index: std::collections::HashMap<NodeId, usize> = receivers
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let recv_index: std::collections::HashMap<NodeId, usize> =
+        receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut got: Vec<Vec<M>> = vec![Vec::new(); receivers.len()];
     // Senders that also receive use full duplex; they hear neighbors but
     // not themselves, so their own message is appended afterwards.
@@ -594,11 +591,8 @@ pub fn det_sr(
     // occupied slot has been seen (i.e. N+(v) ∩ S ≠ ∅ is still possible).
     let mut prefix: Vec<u64> = vec![0; receivers.len()];
     let mut alive: Vec<bool> = vec![true; receivers.len()];
-    let recv_index: std::collections::HashMap<NodeId, usize> = receivers
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let recv_index: std::collections::HashMap<NodeId, usize> =
+        receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     for x in 0..bits {
         let level_bits = x + 1;
         let level_slots = 1u64 << level_bits;
@@ -720,12 +714,11 @@ mod tests {
     fn decay_sr_delivers_from_single_sender() {
         let g = star(1);
         let mut sim = Sim::new(g, Model::NoCd, 3);
-        let got = Sr::Decay { delta: 1, sweeps: 8 }.run(
-            &mut sim,
-            &[(1usize, 42u32)],
-            &[0],
-            &mut rngs(2),
-        );
+        let got = Sr::Decay {
+            delta: 1,
+            sweeps: 8,
+        }
+        .run(&mut sim, &[(1usize, 42u32)], &[0], &mut rngs(2));
         assert_eq!(got[0], Some(42));
     }
 
@@ -756,7 +749,10 @@ mod tests {
         let g = star(8);
         let mut sim = Sim::new(g, Model::NoCd, 1);
         let senders: Vec<(NodeId, u8)> = (1..=8).map(|v| (v, 1u8)).collect();
-        let sr = Sr::Decay { delta: 8, sweeps: 10 };
+        let sr = Sr::Decay {
+            delta: 8,
+            sweeps: 10,
+        };
         let total = sr.round_slots();
         sr.run(&mut sim, &senders, &[0], &mut rngs(9));
         // The receiver listens at most the full round; senders pay at most
@@ -770,7 +766,10 @@ mod tests {
         // No-CD receivers cannot detect absence of senders.
         let g = star(2);
         let mut sim = Sim::new(g, Model::NoCd, 1);
-        let sr = Sr::Decay { delta: 2, sweeps: 4 };
+        let sr = Sr::Decay {
+            delta: 2,
+            sweeps: 4,
+        };
         let got = sr.run::<u8>(&mut sim, &[], &[1, 2], &mut rngs(3));
         assert_eq!(got, vec![None, None]);
         assert_eq!(sim.meter().energy(1), sr.round_slots());
@@ -845,7 +844,7 @@ mod tests {
         // Path 0-1-2 colored 0,1,2 (a proper G+G² coloring).
         let g = ebc_graphs::deterministic::path(3);
         let mut sim = Sim::new(g, Model::NoCd, 0);
-        let colors = std::rc::Rc::new(vec![0u32, 1, 2]);
+        let colors = std::sync::Arc::new(vec![0u32, 1, 2]);
         let sr = Sr::Tdma {
             colors,
             num_colors: 3,
@@ -915,7 +914,10 @@ mod tests {
     #[test]
     fn round_slots_accounting() {
         assert_eq!(Sr::Local.round_slots(), 1);
-        let d = Sr::Decay { delta: 7, sweeps: 3 };
+        let d = Sr::Decay {
+            delta: 7,
+            sweeps: 3,
+        };
         assert_eq!(d.round_slots(), 3 * 4); // ⌈log2 8⌉ + 1 = 4
         let c = Sr::CdTransform {
             delta: 7,

@@ -70,7 +70,10 @@ mod tests {
         let mut rng = node_rng(5, 0, 0);
         let beta = 0.25;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, beta)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, beta))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 4.0).abs() < 0.3, "mean = {mean}");
     }
 

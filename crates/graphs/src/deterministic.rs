@@ -146,7 +146,7 @@ pub fn complete_tree(arity: usize, depth: u32) -> Graph {
 ///
 /// Panics if `d == 0` or `d >= 30`.
 pub fn hypercube(d: u32) -> Graph {
-    assert!(d >= 1 && d < 30);
+    assert!((1..30).contains(&d));
     let n = 1usize << d;
     let mut edges = Vec::with_capacity(n * d as usize / 2);
     for v in 0..n {

@@ -81,10 +81,7 @@ impl Family {
             }
             Family::Grid => {
                 let side = (n as f64).sqrt().round().max(2.0) as usize;
-                (
-                    deterministic::grid(side, side),
-                    Some(2 * (side as u32 - 1)),
-                )
+                (deterministic::grid(side, side), Some(2 * (side as u32 - 1)))
             }
             Family::BinaryTree => {
                 let depth = (n as f64).log2().ceil() as u32;
@@ -171,7 +168,7 @@ mod tests {
             let inst = fam.instance(128, 3);
             let n = inst.graph.n();
             assert!(
-                n >= 64 && n <= 300,
+                (64..=300).contains(&n),
                 "{}: n = {n} far from requested 128",
                 fam.name()
             );

@@ -196,10 +196,7 @@ mod tests {
     fn generators_are_reproducible() {
         assert_eq!(random_tree(30, 5), random_tree(30, 5));
         assert_eq!(gnp_connected(30, 0.1, 5), gnp_connected(30, 0.1, 5));
-        assert_eq!(
-            bounded_degree(30, 3, 1.0, 5),
-            bounded_degree(30, 3, 1.0, 5)
-        );
+        assert_eq!(bounded_degree(30, 3, 1.0, 5), bounded_degree(30, 3, 1.0, 5));
     }
 
     #[test]

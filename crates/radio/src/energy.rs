@@ -58,7 +58,10 @@ impl EnergyMeter {
 
     /// The maximum energy over all devices — the paper's energy complexity.
     pub fn max_energy(&self) -> u64 {
-        (0..self.sends.len()).map(|v| self.energy(v)).max().unwrap_or(0)
+        (0..self.sends.len())
+            .map(|v| self.energy(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of energy over all devices.
@@ -193,5 +196,74 @@ mod tests {
         let m = EnergyMeter::new(0);
         assert_eq!(m.max_energy(), 0);
         assert_eq!(m.mean_energy(), 0.0);
+    }
+
+    #[test]
+    fn report_of_zero_device_meter_is_all_zero() {
+        let r = EnergyMeter::new(0).report();
+        assert_eq!(
+            r,
+            EnergyReport {
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p95: 0,
+                total: 0,
+                time: 0
+            }
+        );
+    }
+
+    #[test]
+    fn report_with_devices_but_no_charges() {
+        // Devices exist but nothing ever sent or listened: every statistic
+        // is zero and no slot counts as active.
+        let m = EnergyMeter::new(5);
+        let r = m.report();
+        assert_eq!(r.max, 0);
+        assert_eq!(r.mean, 0.0);
+        assert_eq!(r.median, 0);
+        assert_eq!(r.p95, 0);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.time, 0);
+        assert_eq!(m.last_active(), None);
+    }
+
+    #[test]
+    fn skip_only_sim_charges_nothing_but_advances_clock() {
+        // A simulation that only skips provably-idle regions: the global
+        // clock moves, the meter stays empty (idling is free), and the
+        // report's activity-based time stays zero.
+        use crate::{Graph, Model, Sim};
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut sim = Sim::new(g, Model::NoCd, 1);
+        sim.skip(1000);
+        assert_eq!(sim.now(), 1000);
+        assert_eq!(sim.meter().total_energy(), 0);
+        assert_eq!(sim.meter().last_active(), None);
+        assert_eq!(sim.meter().report().time, 0);
+    }
+
+    #[test]
+    fn charge_after_skip_counts_skipped_slots_in_time() {
+        use crate::{from_fns, Action, Graph, Model, Sim};
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut sim = Sim::new(g, Model::NoCd, 1);
+        sim.skip(50);
+        let mut b = from_fns(
+            |v, _t| {
+                if v == 0 {
+                    Action::Send(1u8)
+                } else {
+                    Action::Listen
+                }
+            },
+            |_v, _t, _fb| {},
+        );
+        sim.run(&[0, 1], 1, &mut b);
+        let r = sim.meter().report();
+        assert_eq!(r.total, 2);
+        // Time counts through the skipped region up to the active slot.
+        assert_eq!(r.time, 51);
     }
 }

@@ -261,7 +261,8 @@ mod tests {
 
     impl Protocol<u32> for PingPong {
         fn first_wake(&mut self, v: NodeId) -> NextWake {
-            NextWake::At(if v == 0 { 1 } else { 1 })
+            let _ = v;
+            NextWake::At(1)
         }
         fn on_wake(&mut self, v: NodeId, now: Slot) -> Action<u32> {
             // Node 0 sends on odd slots, node 1 listens on odd slots;
@@ -395,7 +396,12 @@ mod tests {
                     Action::Send(42)
                 }
             }
-            fn after_slot(&mut self, v: NodeId, now: Slot, heard: Option<Feedback<u8>>) -> NextWake {
+            fn after_slot(
+                &mut self,
+                v: NodeId,
+                now: Slot,
+                heard: Option<Feedback<u8>>,
+            ) -> NextWake {
                 if v == 0 {
                     self.got[0] = true;
                     return NextWake::Done;

@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert_eq!(Graph::from_edges(3, &[(1, 1)]), Err(GraphError::SelfLoop(1)));
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
     }
 
     #[test]

@@ -133,10 +133,7 @@ impl<M> Feedback<M> {
 /// `senders` must iterate the listener's transmitting neighbors in
 /// ascending `NodeId` order (as [`crate::Graph::neighbors`] does). The
 /// listener itself is never among them: a device does not hear itself.
-pub fn resolve<M: Clone>(
-    model: Model,
-    senders: impl Iterator<Item = (NodeId, M)>,
-) -> Feedback<M> {
+pub fn resolve<M: Clone>(model: Model, senders: impl Iterator<Item = (NodeId, M)>) -> Feedback<M> {
     match model {
         Model::Local => {
             let msgs: Vec<M> = senders.map(|(_, m)| m).collect();
@@ -173,8 +170,10 @@ pub fn resolve<M: Clone>(
 mod tests {
     use super::*;
 
-    fn senders(ms: &[(NodeId, &'static str)]) -> impl Iterator<Item = (NodeId, &'static str)> {
-        ms.to_vec().into_iter()
+    fn senders<'a>(
+        ms: &'a [(NodeId, &'static str)],
+    ) -> impl Iterator<Item = (NodeId, &'static str)> + 'a {
+        ms.iter().copied()
     }
 
     #[test]
@@ -253,8 +252,7 @@ mod tests {
     }
     #[test]
     fn model_names_are_distinct() {
-        let names: std::collections::HashSet<&str> =
-            Model::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<&str> = Model::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), Model::ALL.len());
         assert_eq!(format!("{}", Model::CdStar), "CD*");
     }
@@ -268,5 +266,4 @@ mod tests {
         assert!(Action::SendListen(5u8).listens());
         assert!(!Action::Send(5u8).listens());
     }
-
 }

@@ -39,11 +39,7 @@ pub fn node_rng(master: u64, node: NodeId, stream: u64) -> SmallRng {
 /// A shared RNG for a cluster rooted at `root` (paper §6.2's "shared random
 /// string"): every member derives the identical stream from the cluster id.
 pub fn cluster_rng(master: u64, root: NodeId, stream: u64) -> SmallRng {
-    SmallRng::seed_from_u64(derive_seed(
-        master ^ 0x5bf0_3635_dcf9_8b5e,
-        root,
-        stream,
-    ))
+    SmallRng::seed_from_u64(derive_seed(master ^ 0x5bf0_3635_dcf9_8b5e, root, stream))
 }
 
 #[cfg(test)]

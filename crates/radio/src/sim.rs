@@ -256,10 +256,7 @@ mod tests {
     #[test]
     fn non_participants_stay_idle_and_free() {
         let mut sim = Sim::new(star(3), Model::NoCd, 0);
-        let mut b = from_fns(
-            |_, _| Action::Send(1u8),
-            |_, _, _| panic!("nobody listens"),
-        );
+        let mut b = from_fns(|_, _| Action::Send(1u8), |_, _, _| panic!("nobody listens"));
         sim.run(&[1], 4, &mut b);
         assert_eq!(sim.meter().energy(1), 4);
         assert_eq!(sim.meter().energy(0), 0);
@@ -320,10 +317,7 @@ mod tests {
         sim.run(&[0, 1], 1, &mut b);
         drop(b);
         got.sort_by_key(|(v, _)| *v);
-        assert_eq!(
-            got,
-            vec![(0, Feedback::One("b")), (1, Feedback::One("a"))]
-        );
+        assert_eq!(got, vec![(0, Feedback::One("b")), (1, Feedback::One("a"))]);
     }
 
     #[test]

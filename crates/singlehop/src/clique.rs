@@ -66,7 +66,10 @@ impl Clique {
     /// # Panics
     ///
     /// Panics if a device id is out of range or appears twice.
-    pub fn slot<M: Clone>(&mut self, actions: &[(NodeId, Action<M>)]) -> Vec<(NodeId, Feedback<M>)> {
+    pub fn slot<M: Clone>(
+        &mut self,
+        actions: &[(NodeId, Action<M>)],
+    ) -> Vec<(NodeId, Feedback<M>)> {
         let mut senders: Vec<(NodeId, M)> = Vec::new();
         let mut listeners: Vec<NodeId> = Vec::new();
         let now = self.clock;

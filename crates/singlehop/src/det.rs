@@ -207,5 +207,4 @@ mod tests {
         let res = det_leader_election(&mut c, &[2, 9, 14], &ids, n as u64);
         assert_eq!(res.leader, 14);
     }
-
 }

@@ -442,10 +442,7 @@ mod tests {
             let mut rng = node_rng(42, 2, 99);
             let (est, _slots) = approximate_count(&mut clique, &parts, &mut rng, 9);
             let ratio = est as f64 / n as f64;
-            assert!(
-                (1.0 / 16.0..=16.0).contains(&ratio),
-                "n = {n}, est = {est}"
-            );
+            assert!((1.0 / 16.0..=16.0).contains(&ratio), "n = {n}, est = {est}");
         }
     }
 
@@ -492,5 +489,4 @@ mod tests {
         assert_eq!(clique.meter().energy(0), 0);
         assert_eq!(clique.meter().energy(63), 0);
     }
-
 }

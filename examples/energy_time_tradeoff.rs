@@ -11,12 +11,11 @@ use ebc_radio::{Model, Sim};
 
 fn main() {
     let graph = ebc_graphs::deterministic::grid(12, 12);
+    println!("network: 12×12 grid, n = {}, D = {}\n", graph.n(), 22);
     println!(
-        "network: 12×12 grid, n = {}, D = {}\n",
-        graph.n(),
-        22
+        "{:<26} {:>14} {:>8} {:>8}",
+        "algorithm", "time (slots)", "E max", "E mean"
     );
-    println!("{:<26} {:>14} {:>8} {:>8}", "algorithm", "time (slots)", "E max", "E mean");
 
     for beta in [0.4, 0.3, 0.2, 0.1] {
         let mut sim = Sim::new(graph.clone(), Model::NoCd, 77);

@@ -4,7 +4,9 @@
 //! Run with: `cargo run --release --example model_comparison`
 
 use ebc_core::det::{broadcast_det_cd, broadcast_det_local, DetCdConfig, DetLocalConfig};
-use ebc_core::randomized::{broadcast_theorem11, broadcast_theorem12, Theorem11Config, Theorem12Config};
+use ebc_core::randomized::{
+    broadcast_theorem11, broadcast_theorem12, Theorem11Config, Theorem12Config,
+};
 use ebc_radio::{Model, Sim};
 
 fn main() {

@@ -48,7 +48,14 @@ fn main() {
     );
     print!("slot  ");
     for v in 0..n {
-        print!("{}", if v % 10 == 0 { (b'0' + (v / 10) as u8) as char } else { ' ' });
+        print!(
+            "{}",
+            if v % 10 == 0 {
+                (b'0' + (v / 10) as u8) as char
+            } else {
+                ' '
+            }
+        );
     }
     println!();
     print!("      ");

@@ -1,0 +1,116 @@
+//! Vendored, dependency-free shim of the slice of the `criterion` API this
+//! workspace uses: [`Criterion::bench_function`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The workspace must build with no network access to crates.io, so the
+//! root manifest patches `criterion` to this path. There is no statistical
+//! analysis — each benchmark is warmed up, then timed over enough
+//! iterations to fill a measurement window, and the mean ns/iter is
+//! printed. `CRITERION_SHIM_QUICK=1` shrinks the windows for CI smoke
+//! runs. Swapping in the real crate is a one-line change in the workspace
+//! manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f` (which receives a [`Bencher`]) and prints the result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = std::env::var("CRITERION_SHIM_QUICK").is_ok_and(|v| v == "1");
+        let (warmup, window) = if quick {
+            (Duration::from_millis(20), Duration::from_millis(100))
+        } else {
+            (Duration::from_millis(300), Duration::from_secs(1))
+        };
+        let mut b = Bencher {
+            warmup,
+            window,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{id:<40} {per_iter:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Times a single benchmark body over repeated iterations.
+pub struct Bencher {
+    warmup: Duration,
+    window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: first for the warmup window, then timed.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.window {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("CRITERION_SHIM_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+}

@@ -3,6 +3,7 @@
 //! measured costs must sit in the regime the paper's Table 1 predicts.
 
 use ebc_core::baseline::{bgi_decay_broadcast, flood_local};
+use ebc_core::cdfast::{broadcast_theorem20, Theorem20Config};
 use ebc_core::cluster::{broadcast_theorem16, Theorem16Config};
 use ebc_core::det::{broadcast_det_cd, broadcast_det_local, DetCdConfig, DetLocalConfig};
 use ebc_core::path::{path_broadcast, PathConfig};
@@ -10,7 +11,6 @@ use ebc_core::randomized::{
     broadcast_corollary13, broadcast_theorem11, broadcast_theorem12, Theorem11Config,
     Theorem12Config,
 };
-use ebc_core::cdfast::{broadcast_theorem20, Theorem20Config};
 use ebc_graphs::families::Family;
 use ebc_radio::{Model, Sim};
 

@@ -9,10 +9,10 @@ use ebc_core::srcomm::{det_sr, Sr};
 use ebc_core::util::NodeRngs;
 use ebc_graphs::deterministic::{complete, grid, k2k};
 use ebc_graphs::random::bounded_degree;
-use ebc_singlehop::det::det_leader_election;
-use ebc_singlehop::{run_uniform_le, Clique};
 use ebc_radio::rng::node_rng;
 use ebc_radio::{Model, NodeId, Sim};
+use ebc_singlehop::det::det_leader_election;
+use ebc_singlehop::{run_uniform_le, Clique};
 
 #[test]
 fn single_hop_le_and_multi_hop_sr_share_the_schedule() {
@@ -33,7 +33,12 @@ fn single_hop_le_and_multi_hop_sr_share_the_schedule() {
         epochs: 40,
         relevance_check: false,
     };
-    let got = sr.run(&mut sim, &senders, &[0], &mut NodeRngs::new(5, delta + 1, 2));
+    let got = sr.run(
+        &mut sim,
+        &senders,
+        &[0],
+        &mut NodeRngs::new(5, delta + 1, 2),
+    );
     assert!(got[0].is_some());
     // The hub's energy (one listen per epoch, stopping on success) is in
     // the same ballpark as the LE slot count — the reduction's other
@@ -61,7 +66,7 @@ fn build_tdma_then_relay_across_the_graph() {
     let mut coins = NodeRngs::new(9, 24, 2);
     let sr = build_tdma(&mut sim, &mut rngs, &mut coins);
     // Relay a token all the way around using only TDMA SR rounds.
-    let mut has = vec![false; 24];
+    let mut has = [false; 24];
     has[0] = true;
     for _ in 0..24 {
         let senders: Vec<(NodeId, u8)> = (0..24).filter(|&v| has[v]).map(|v| (v, 1)).collect();
