@@ -1,0 +1,7 @@
+//! `cargo bench` target regenerating the full scenario matrix and
+//! `BENCH_scenario_matrix.json` (in the current directory).
+fn main() {
+    let spec = ebc_bench::find_experiment("scenario_matrix").expect("registered experiment");
+    let config = ebc_bench::RunConfig::default();
+    ebc_bench::run_to_files(spec, &config, std::path::Path::new(".")).expect("write results");
+}

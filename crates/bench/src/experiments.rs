@@ -17,6 +17,8 @@ use ebc_core::randomized::{
     broadcast_corollary13, broadcast_theorem11, broadcast_theorem12, Theorem11Config,
     Theorem12Config,
 };
+use std::sync::Arc;
+
 use ebc_core::reduction::{run_reduction, theorem2_lower_bound, DecayMiddle, UniformCdMiddle};
 use ebc_core::srcomm::Sr;
 use ebc_core::util::NodeRngs;
@@ -37,7 +39,27 @@ pub struct ExperimentSpec {
     /// What shape to expect in the numbers, in one sentence.
     pub note: &'static str,
     /// Runs the experiment under `config`.
-    pub run: fn(&RunConfig) -> Vec<Case>,
+    pub run: fn(&RunConfig) -> ExperimentOutput,
+}
+
+/// What one experiment run produced: the parameter-point cases plus any
+/// experiment-specific top-level JSON fields (e.g. the scenario matrix's
+/// skip accounting). Plain case lists convert via `.into()`.
+pub struct ExperimentOutput {
+    /// One entry per parameter point.
+    pub cases: Vec<Case>,
+    /// Extra `(key, value)` pairs serialized at the document's top level,
+    /// before `"cases"`.
+    pub extra: Vec<(&'static str, Json)>,
+}
+
+impl From<Vec<Case>> for ExperimentOutput {
+    fn from(cases: Vec<Case>) -> ExperimentOutput {
+        ExperimentOutput {
+            cases,
+            extra: Vec::new(),
+        }
+    }
 }
 
 /// A completed experiment: the spec it ran, how, and the cases produced.
@@ -48,6 +70,8 @@ pub struct ExperimentResult {
     pub config: RunConfig,
     /// One entry per parameter point.
     pub cases: Vec<Case>,
+    /// Experiment-specific top-level JSON fields.
+    pub extra: Vec<(&'static str, Json)>,
 }
 
 /// The JSON schema version stamped into every emitted file. Bump on any
@@ -57,7 +81,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 impl ExperimentResult {
     /// Serializes the full result document (`BENCH_<name>.json` payload).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut doc = Json::obj()
             .field("schema_version", SCHEMA_VERSION)
             .field("experiment", self.spec.name)
             .field("title", self.spec.title)
@@ -69,20 +93,25 @@ impl ExperimentResult {
                     .field("seeds", self.config.seeds.map_or(Json::Null, Json::from))
                     .field("quick", self.config.quick)
                     .field("threads", rayon::current_num_threads()),
-            )
-            .field(
-                "cases",
-                Json::Arr(self.cases.iter().map(Case::to_json).collect()),
-            )
+            );
+        for (k, v) in &self.extra {
+            doc = doc.field(k, v.clone());
+        }
+        doc.field(
+            "cases",
+            Json::Arr(self.cases.iter().map(Case::to_json).collect()),
+        )
     }
 }
 
 /// Runs `spec` under `config`.
 pub fn run_experiment(spec: &'static ExperimentSpec, config: &RunConfig) -> ExperimentResult {
+    let output = (spec.run)(config);
     ExperimentResult {
         spec,
         config: config.clone(),
-        cases: (spec.run)(config),
+        cases: output.cases,
+        extra: output.extra,
     }
 }
 
@@ -111,12 +140,12 @@ fn sizes<'a>(config: &RunConfig, full: &'a [usize], quick: &'a [usize]) -> &'a [
 
 /// E1/E5/E7 — Table 1 randomized rows: Theorem 11 under LOCAL / CD /
 /// No-CD and Theorem 12 under CD, swept over `n` on rings.
-fn run_table1_randomized(config: &RunConfig) -> Vec<Case> {
+fn run_table1_randomized(config: &RunConfig) -> ExperimentOutput {
     let t11 = Theorem11Config::default();
     let t12 = Theorem12Config::default();
     let mut cases = Vec::new();
     for &n in sizes(config, &[64, 128, 256, 512], &[64, 128]) {
-        let g = cycle(n);
+        let g = Arc::new(cycle(n));
         let variants: &[(&'static str, Model, u64)] = &[
             ("theorem11", Model::Local, 3),
             ("theorem11", Model::Cd, 3),
@@ -140,11 +169,11 @@ fn run_table1_randomized(config: &RunConfig) -> Vec<Case> {
             ));
         }
     }
-    cases
+    cases.into()
 }
 
 /// E2 — Theorem 16's `O(D^{1+ε})` time on grids vs Theorem 11.
-fn run_table1_dtime(config: &RunConfig) -> Vec<Case> {
+fn run_table1_dtime(config: &RunConfig) -> ExperimentOutput {
     let t16 = Theorem16Config {
         beta_override: Some(0.25),
         ..Theorem16Config::default()
@@ -152,7 +181,7 @@ fn run_table1_dtime(config: &RunConfig) -> Vec<Case> {
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
     for &side in sizes(config, &[8, 12, 16, 22], &[8, 12]) {
-        let g = grid(side, side);
+        let g = Arc::new(grid(side, side));
         let seeds = config.seeds_for(2);
         for (algorithm, m16) in [("theorem16", true), ("theorem11", false)] {
             let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
@@ -174,15 +203,15 @@ fn run_table1_dtime(config: &RunConfig) -> Vec<Case> {
             ));
         }
     }
-    cases
+    cases.into()
 }
 
 /// E3 — Corollary 13: bounded-degree No-CD via LOCAL simulation.
-fn run_table1_bounded(config: &RunConfig) -> Vec<Case> {
+fn run_table1_bounded(config: &RunConfig) -> ExperimentOutput {
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
     for &n in sizes(config, &[64, 128, 256, 512], &[64, 128]) {
-        let g = cycle(n);
+        let g = Arc::new(cycle(n));
         let seeds = config.seeds_for(2);
         for (algorithm, cor13) in [("corollary13", true), ("theorem11", false)] {
             let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
@@ -203,12 +232,12 @@ fn run_table1_bounded(config: &RunConfig) -> Vec<Case> {
             ));
         }
     }
-    cases
+    cases.into()
 }
 
 /// E4 — the Theorem 2 reduction on `K_{2,k}`: leader-election slot counts
 /// against the analytic lower bounds, plus broadcast energy on the gadget.
-fn run_table1_lower(config: &RunConfig) -> Vec<Case> {
+fn run_table1_lower(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &k in sizes(config, &[8, 32, 128, 512], &[8, 32]) {
         let le_seeds = config.seeds_for(10);
@@ -236,7 +265,7 @@ fn run_table1_lower(config: &RunConfig) -> Vec<Case> {
         }
         // Broadcast energy on the gadget itself (Theorem 11, CD): always
         // far above the reduction-derived bound.
-        let g = k2k(k);
+        let g = Arc::new(k2k(k));
         let measurements = sweep_broadcast(&g, Model::Cd, config.seeds_for(2), |s| {
             broadcast_theorem11(s, 0, &Theorem11Config::default()).all_informed()
         });
@@ -254,16 +283,16 @@ fn run_table1_lower(config: &RunConfig) -> Vec<Case> {
             measurements,
         ));
     }
-    cases
+    cases.into()
 }
 
 /// E6 — Theorem 20: lower CD energy bought with much more time.
-fn run_table1_cdfast(config: &RunConfig) -> Vec<Case> {
+fn run_table1_cdfast(config: &RunConfig) -> ExperimentOutput {
     let t20 = Theorem20Config::default();
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
     for &n in sizes(config, &[32, 64, 128], &[32, 64]) {
-        let g = cycle(n);
+        let g = Arc::new(cycle(n));
         let seeds = config.seeds_for(2);
         for (algorithm, is20) in [("theorem20", true), ("theorem11", false)] {
             let measurements = sweep_broadcast(&g, Model::Cd, seeds, |s| {
@@ -284,15 +313,15 @@ fn run_table1_cdfast(config: &RunConfig) -> Vec<Case> {
             ));
         }
     }
-    cases
+    cases.into()
 }
 
 /// E8/E9 — deterministic rows (Theorems 25 and 27); a single seed, the
 /// algorithms are deterministic.
-fn run_table1_det(config: &RunConfig) -> Vec<Case> {
+fn run_table1_det(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &n in sizes(config, &[16, 32, 64], &[16, 32]) {
-        let g = cycle(n);
+        let g = Arc::new(cycle(n));
         for (algorithm, model) in [("theorem25", Model::Local), ("theorem27", Model::Cd)] {
             let measurements = sweep_broadcast(&g, model, 1, |s| {
                 if model == Model::Local {
@@ -312,12 +341,12 @@ fn run_table1_det(config: &RunConfig) -> Vec<Case> {
             ));
         }
     }
-    cases
+    cases.into()
 }
 
 /// E10/E11 — the §8 path algorithm: ≤ 2n delivery time at `O(log n)`
 /// expected per-vertex energy.
-fn run_fig1_path(config: &RunConfig) -> Vec<Case> {
+fn run_fig1_path(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &exp in sizes(config, &[8, 10, 12, 14], &[8, 10]) {
         let n = 1usize << exp;
@@ -345,16 +374,16 @@ fn run_fig1_path(config: &RunConfig) -> Vec<Case> {
             measurements,
         ));
     }
-    cases
+    cases.into()
 }
 
 /// E12 — ablations: SR-primitive receiver energies (Lemmas 7/8 vs the CD
 /// transform) and `Partition(β)` statistics (Lemmas 14/15).
-fn run_ablation(config: &RunConfig) -> Vec<Case> {
+fn run_ablation(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     // Receiver energy of the two SR primitives on stars of growing degree.
     for &delta in sizes(config, &[8, 64, 512], &[8, 64]) {
-        let g = star(delta);
+        let g = Arc::new(star(delta));
         let senders: Vec<(usize, u32)> = (1..=delta).map(|v| (v, v as u32)).collect();
         let seeds = config.seeds_for(10);
         for primitive in ["decay", "cd_transform"] {
@@ -372,7 +401,7 @@ fn run_ablation(config: &RunConfig) -> Vec<Case> {
                         2,
                     )
                 };
-                let mut sim = Sim::new(g.clone(), model, seed);
+                let mut sim = Sim::new(Arc::clone(&g), model, seed);
                 let got = sr.run(
                     &mut sim,
                     &senders,
@@ -395,11 +424,11 @@ fn run_ablation(config: &RunConfig) -> Vec<Case> {
     // Partition(β): measured edge-cut fraction vs the 2β bound and
     // cluster-graph diameter vs the 3βD bound, on a cycle.
     let n = 512;
-    let g = cycle(n);
+    let g = Arc::new(cycle(n));
     for beta in [0.1f64, 0.2, 0.3] {
         let seeds = config.seeds_for(5);
         let measurements = sweep_seeds(seeds, |seed| {
-            let mut sim = Sim::new(g.clone(), Model::Local, seed);
+            let mut sim = Sim::new(Arc::clone(&g), Model::Local, seed);
             let mut rngs = NodeRngs::new(seed, n, 9);
             let st = partition_beta(&mut sim, beta, &Sr::Local, &mut rngs);
             let (cg, _) = st.cluster_graph(&g);
@@ -425,16 +454,16 @@ fn run_ablation(config: &RunConfig) -> Vec<Case> {
             measurements,
         ));
     }
-    cases
+    cases.into()
 }
 
 /// E13 — the baseline gap: BGI decay's `Θ(D)` energy vs Theorem 11's
 /// polylog, on growing rings.
-fn run_baseline_gap(config: &RunConfig) -> Vec<Case> {
+fn run_baseline_gap(config: &RunConfig) -> ExperimentOutput {
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
     for &n in sizes(config, &[128, 256, 512, 1024], &[128, 256]) {
-        let g = cycle(n);
+        let g = Arc::new(cycle(n));
         let seeds = config.seeds_for(2);
         for (algorithm, is11) in [("theorem11", true), ("bgi_decay", false)] {
             let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
@@ -455,10 +484,10 @@ fn run_baseline_gap(config: &RunConfig) -> Vec<Case> {
             ));
         }
     }
-    cases
+    cases.into()
 }
 
-fn model_name(model: Model) -> &'static str {
+pub(crate) fn model_name(model: Model) -> &'static str {
     match model {
         Model::NoCd => "no-cd",
         Model::Cd => "cd",
@@ -533,6 +562,13 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         note: "doubling n doubles BGI's energy; Theorem 11's is nearly flat (asymptotic claim, large constants)",
         run: run_baseline_gap,
     },
+    ExperimentSpec {
+        name: "scenario_matrix",
+        title: "Scenario matrix (every algorithm × family × model × n)",
+        paper: "Table 1 as a whole: each algorithm's time/energy row holds in exactly its models; incompatible pairs are skipped and counted",
+        note: "all_informed is 1.0 everywhere; energy ranks baselines ≫ randomized ≫ LOCAL rows, per family",
+        run: crate::scenario::run_scenario_matrix,
+    },
 ];
 
 #[cfg(test)]
@@ -572,6 +608,7 @@ mod tests {
         let config = RunConfig {
             seeds: Some(1),
             quick: true,
+            ..RunConfig::default()
         };
         let spec = find_experiment("table1_det").unwrap();
         let result = run_experiment(spec, &config);
@@ -597,6 +634,7 @@ mod tests {
         let config = RunConfig {
             seeds: Some(1),
             quick: true,
+            ..RunConfig::default()
         };
         let spec = find_experiment("table1_det").unwrap();
         let a = run_experiment(spec, &config).to_json().to_string_pretty();

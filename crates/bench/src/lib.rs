@@ -9,6 +9,9 @@
 //! * [`experiments`] — the registry: one [`experiments::ExperimentSpec`]
 //!   per experiment, run via [`experiments::run_experiment`], producing an
 //!   [`experiments::ExperimentResult`].
+//! * [`scenario`] — the scenario matrix: the full `Family × Model ×
+//!   algorithm × n` cross-product over [`ebc_core::suite`], with skipped
+//!   incompatible pairs counted in the emitted JSON.
 //! * [`json`] — the dependency-free JSON document model the results
 //!   serialize through (schema-stable field order).
 //! * [`report`] — aligned human-readable tables of the same results.
@@ -25,9 +28,11 @@ pub mod experiments;
 pub mod json;
 pub mod measure;
 pub mod report;
+pub mod scenario;
 
 pub use experiments::{
-    find_experiment, run_experiment, ExperimentResult, ExperimentSpec, EXPERIMENTS, SCHEMA_VERSION,
+    find_experiment, run_experiment, ExperimentOutput, ExperimentResult, ExperimentSpec,
+    EXPERIMENTS, SCHEMA_VERSION,
 };
 pub use measure::{Case, Measurement, RunConfig, Stats, Summary};
 
@@ -66,6 +71,7 @@ mod tests {
         let config = RunConfig {
             seeds: Some(1),
             quick: true,
+            ..RunConfig::default()
         };
         let path = run_to_files(find_experiment("table1_det").unwrap(), &config, &dir).unwrap();
         assert_eq!(

@@ -31,6 +31,12 @@ Options:
                          substring; repeatable). Default: run all.
   --seeds <N>            Override the per-case seed count
   --quick                Smaller sweeps and fewer seeds (CI smoke mode)
+  --family <NAME>        Scenario matrix: only this graph family
+                         (e.g. cycle, grid, hypercube, unit-disk)
+  --model <NAME>         Scenario matrix: only this collision model
+                         (local, cd, cd-star, no-cd)
+  --algo <NAME>          Scenario matrix: only this algorithm
+                         (e.g. theorem11, bgi_decay, path_theorem21)
   --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
   --threads <N>          Worker threads for seed sweeps (default: all cores)
   -h, --help             Show this help
@@ -60,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--quick" => args.config.quick = true,
+            "--family" => args.config.family = Some(value("--family")?),
+            "--model" => args.config.model = Some(value("--model")?),
+            "--algo" => args.config.algo = Some(value("--algo")?),
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
             "--threads" => {
                 let v = value("--threads")?;

@@ -5,7 +5,10 @@
 //! master seeds and aggregate the metrics". [`sweep_seeds`] runs the seeds
 //! in parallel (rayon-style `into_par_iter`, one chunk per core) — the
 //! sweeps are embarrassingly parallel because each seed builds its own
-//! [`Sim`] from a shared immutable [`Graph`].
+//! [`Sim`] over one shared `Arc<Graph>`: the CSR arrays are allocated once
+//! per case and never deep-cloned per seed.
+
+use std::sync::Arc;
 
 use ebc_radio::{Graph, Model, Sim};
 use rayon::prelude::*;
@@ -19,6 +22,13 @@ pub struct RunConfig {
     pub seeds: Option<u64>,
     /// Quick mode: smaller sweeps and fewer seeds, for CI smoke runs.
     pub quick: bool,
+    /// Scenario-matrix axis filter: only this graph family (display name).
+    pub family: Option<String>,
+    /// Scenario-matrix axis filter: only this collision model (JSON key,
+    /// e.g. `"no-cd"`).
+    pub model: Option<String>,
+    /// Scenario-matrix axis filter: only this algorithm (registry name).
+    pub algo: Option<String>,
 }
 
 impl RunConfig {
@@ -76,8 +86,13 @@ pub struct Stats {
 
 impl Stats {
     /// Aggregates `values` (empty input yields all-NaN stats).
+    ///
+    /// A NaN anywhere in the input poisons *every* statistic — `min`/`max`
+    /// included. (A plain `f64::min`/`f64::max` fold silently ignores NaN,
+    /// so a case with one corrupted measurement used to report a clean
+    /// range around a NaN mean.)
     pub fn from_values(values: &[f64]) -> Stats {
-        if values.is_empty() {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
             return Stats {
                 mean: f64::NAN,
                 min: f64::NAN,
@@ -214,25 +229,31 @@ where
         .collect()
 }
 
-/// The standard broadcast sweep: one [`Sim`] per seed on a shared graph,
-/// asserting the run succeeds, reporting the standard metric set
-/// (`time`, `energy_max`, `energy_mean`, `energy_p95`, `energy_total`).
-pub fn sweep_broadcast<F>(graph: &Graph, model: Model, seeds: u64, f: F) -> Vec<Measurement>
+/// The standard broadcast sweep: one [`Sim`] per seed over one shared
+/// `Arc<Graph>` (an `Arc::clone` per seed — the CSR arrays are never
+/// deep-copied), asserting the run succeeds, reporting the standard metric
+/// set (`time`, `energy_max`, `energy_mean`, `energy_p95`, `energy_total`).
+pub fn sweep_broadcast<F>(graph: &Arc<Graph>, model: Model, seeds: u64, f: F) -> Vec<Measurement>
 where
     F: Fn(&mut Sim) -> bool + Sync,
 {
     sweep_seeds(seeds, |seed| {
-        let mut sim = Sim::new(graph.clone(), model, seed);
+        let mut sim = Sim::new(Arc::clone(graph), model, seed);
         assert!(f(&mut sim), "broadcast run failed (seed {seed})");
         let r = sim.meter().report();
-        vec![
-            ("time", r.time as f64),
-            ("energy_max", r.max as f64),
-            ("energy_mean", r.mean),
-            ("energy_p95", r.p95 as f64),
-            ("energy_total", r.total as f64),
-        ]
+        standard_metrics(&r)
     })
+}
+
+/// The standard broadcast metric set from one run's [`EnergyReport`].
+pub fn standard_metrics(r: &ebc_radio::EnergyReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("time", r.time as f64),
+        ("energy_max", r.max as f64),
+        ("energy_mean", r.mean),
+        ("energy_p95", r.p95 as f64),
+        ("energy_total", r.total as f64),
+    ]
 }
 
 #[cfg(test)]
@@ -252,6 +273,35 @@ mod tests {
     fn stats_of_empty_are_nan() {
         let s = Stats::from_values(&[]);
         assert!(s.mean.is_nan() && s.min.is_nan() && s.max.is_nan());
+    }
+
+    #[test]
+    fn nan_input_poisons_every_statistic() {
+        // One corrupted measurement must not yield a clean-looking range:
+        // min/max propagate NaN exactly like mean does.
+        let s = Stats::from_values(&[1.0, f64::NAN, 3.0]);
+        assert!(s.mean.is_nan());
+        assert!(s.min.is_nan(), "min ignored the NaN");
+        assert!(s.max.is_nan(), "max ignored the NaN");
+        assert!(s.std_dev.is_nan());
+        // NaN-free inputs are unaffected.
+        let s = Stats::from_values(&[1.0, 3.0]);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+    }
+
+    #[test]
+    fn sweeps_share_one_graph_allocation_across_seeds() {
+        // The Arc<Graph> refactor's contract: every seed's Sim points at
+        // the same CSR allocation (sweep_broadcast asserts the closure
+        // holds for every seed, so a deep clone would panic here).
+        let g = Arc::new(Graph::from_edges(2, &[(0, 1)]).unwrap());
+        let shared = Arc::clone(&g);
+        let ms = sweep_broadcast(&g, Model::Local, 8, move |sim| {
+            Arc::ptr_eq(sim.graph_arc(), &shared)
+        });
+        assert_eq!(ms.len(), 8);
+        // The case-local Arc is the only remaining strong handle afterward.
+        assert_eq!(Arc::strong_count(&g), 1);
     }
 
     #[test]
@@ -284,12 +334,14 @@ mod tests {
         let quick = RunConfig {
             seeds: None,
             quick: true,
+            ..RunConfig::default()
         };
         assert_eq!(quick.seeds_for(10), 5);
         assert_eq!(quick.seeds_for(1), 1);
         let pinned = RunConfig {
             seeds: Some(7),
             quick: true,
+            ..RunConfig::default()
         };
         assert_eq!(pinned.seeds_for(10), 7);
     }

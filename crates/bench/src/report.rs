@@ -86,6 +86,25 @@ pub fn render(result: &ExperimentResult) -> String {
         out.push('\n');
     }
     out.push_str(&format!("shape: {}\n", result.spec.note));
+    // Experiment-specific top-level fields (e.g. the scenario matrix's
+    // skip accounting) — scalars and flat objects, one line each.
+    for (key, value) in &result.extra {
+        match value {
+            Json::Obj(pairs)
+                if pairs
+                    .iter()
+                    .all(|(_, v)| !matches!(v, Json::Obj(_) | Json::Arr(_))) =>
+            {
+                let body: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", render_param(v)))
+                    .collect();
+                out.push_str(&format!("{key}: {}\n", body.join(" ")));
+            }
+            Json::Arr(_) | Json::Obj(_) => {}
+            scalar => out.push_str(&format!("{key}: {}\n", render_param(scalar))),
+        }
+    }
     out
 }
 
@@ -122,6 +141,7 @@ mod tests {
         let config = RunConfig {
             seeds: Some(1),
             quick: true,
+            ..RunConfig::default()
         };
         let result = run_experiment(find_experiment("table1_det").unwrap(), &config);
         let text = render(&result);

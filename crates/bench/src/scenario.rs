@@ -1,0 +1,322 @@
+//! The scenario matrix: every registered algorithm crossed with every
+//! graph family, collision model, and size.
+//!
+//! The paper's Table 1 spans four messaging models and eight-plus
+//! algorithms; the per-row experiments in [`crate::experiments`] each pin
+//! one algorithm to one or two topologies. This runner sweeps the full
+//! `Family × Model × algorithm × n` cross-product through the
+//! [`ebc_core::suite`] registry, filtering — and *counting* — the
+//! incompatible pairs (a CD-only algorithm under No-CD, the §8 path
+//! algorithm off the path) instead of dropping them silently.
+//!
+//! The emitted `BENCH_scenario_matrix.json` carries the skip accounting as
+//! top-level fields (`skip_counts`, `skipped_pairs`) next to the usual
+//! per-case sweeps, and the `--family`/`--model`/`--algo` CLI flags narrow
+//! the axes.
+
+use std::sync::Arc;
+
+use ebc_core::suite::{BroadcastAlgorithm, ALGORITHMS, MESSAGING_MODELS};
+use ebc_graphs::families::Family;
+use ebc_radio::{Model, Sim};
+
+use crate::experiments::{model_name, ExperimentOutput};
+use crate::json::Json;
+use crate::measure::{standard_metrics, sweep_seeds, Case, RunConfig};
+
+/// The matrix sizes: one small point in quick (CI smoke) mode, two in full
+/// mode. Algorithms whose time is super-linear in `n` (Theorem 20, the
+/// deterministic CD row) keep the full matrix tractable at these sizes.
+fn matrix_sizes(config: &RunConfig) -> &'static [usize] {
+    if config.quick {
+        &[16]
+    } else {
+        &[32, 64]
+    }
+}
+
+/// One skipped `(algorithm, model)` or `(algorithm, family)` pair and how
+/// often the cross-product hit it.
+struct Skip {
+    kind: &'static str,
+    algorithm: &'static str,
+    axis: String,
+    count: usize,
+}
+
+/// Runs the scenario matrix under `config`.
+///
+/// Every *compatible* combination is swept over the configured seeds from
+/// source 0; incompatible combinations are tallied into the output's
+/// `extra` fields. Axis filters narrow the cross-product *before* any
+/// counting — the `axes` field records what survived them, and a filter
+/// that matches nothing yields an empty matrix (`total_combinations: 0`),
+/// not an error.
+pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
+    let families: Vec<Family> = Family::ALL
+        .into_iter()
+        .filter(|f| matches(&config.family, f.name()))
+        .collect();
+    let models: Vec<Model> = MESSAGING_MODELS
+        .into_iter()
+        .filter(|m| matches(&config.model, model_name(*m)))
+        .collect();
+    let algorithms: Vec<&'static dyn BroadcastAlgorithm> = ALGORITHMS
+        .iter()
+        .copied()
+        .filter(|a| matches(&config.algo, a.name()))
+        .collect();
+
+    let mut cases = Vec::new();
+    let mut skips: Vec<Skip> = Vec::new();
+    let mut combinations = 0usize;
+    for &family in &families {
+        for &n in matrix_sizes(config) {
+            // One graph per (family, n); every model, algorithm, and seed
+            // shares the same CSR allocation.
+            let inst = family.instance(n, 0xebc0 + n as u64);
+            let graph = Arc::new(inst.graph);
+            for &model in &models {
+                for &alg in &algorithms {
+                    combinations += 1;
+                    if !alg.supports_model(model) {
+                        tally(&mut skips, "model", alg.name(), model_name(model));
+                        continue;
+                    }
+                    if !alg.supports_graph(&graph) {
+                        tally(&mut skips, "graph", alg.name(), family.name());
+                        continue;
+                    }
+                    let seeds = config.seeds_for(2);
+                    let measurements = sweep_seeds(seeds, |seed| {
+                        let mut sim = Sim::new(Arc::clone(&graph), model, seed);
+                        let out = alg.run(&mut sim, 0);
+                        let mut metrics = vec![
+                            ("all_informed", f64::from(u8::from(out.all_informed()))),
+                            ("informed_frac", out.count() as f64 / sim.graph().n() as f64),
+                        ];
+                        metrics.extend(standard_metrics(&sim.meter().report()));
+                        metrics
+                    });
+                    cases.push(Case::new(
+                        vec![
+                            ("family", family.name().into()),
+                            ("n", graph.n().into()),
+                            ("m", graph.m().into()),
+                            ("delta", graph.max_degree().into()),
+                            ("model", model_name(model).into()),
+                            ("algorithm", alg.name().into()),
+                        ],
+                        measurements,
+                    ));
+                }
+            }
+        }
+    }
+
+    let skipped: usize = skips.iter().map(|s| s.count).sum();
+    let extra = vec![
+        (
+            "axes",
+            Json::obj()
+                .field(
+                    "families",
+                    Json::Arr(families.iter().map(|f| f.name().into()).collect()),
+                )
+                .field(
+                    "models",
+                    Json::Arr(models.iter().map(|&m| model_name(m).into()).collect()),
+                )
+                .field(
+                    "algorithms",
+                    Json::Arr(algorithms.iter().map(|a| a.name().into()).collect()),
+                )
+                .field(
+                    "sizes",
+                    Json::Arr(matrix_sizes(config).iter().map(|&n| n.into()).collect()),
+                ),
+        ),
+        (
+            "skip_counts",
+            Json::obj()
+                .field("total_combinations", combinations)
+                .field("run", cases.len())
+                .field("skipped_incompatible", skipped)
+                .field(
+                    "skipped_incompatible_model",
+                    skips
+                        .iter()
+                        .filter(|s| s.kind == "model")
+                        .map(|s| s.count)
+                        .sum::<usize>(),
+                )
+                .field(
+                    "skipped_incompatible_graph",
+                    skips
+                        .iter()
+                        .filter(|s| s.kind == "graph")
+                        .map(|s| s.count)
+                        .sum::<usize>(),
+                ),
+        ),
+        (
+            "skipped_pairs",
+            Json::Arr(
+                skips
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .field("kind", s.kind)
+                            .field("algorithm", s.algorithm)
+                            .field(
+                                if s.kind == "model" { "model" } else { "family" },
+                                s.axis.as_str(),
+                            )
+                            .field("count", s.count)
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    ExperimentOutput { cases, extra }
+}
+
+/// Axis filter: `None` admits everything; `Some` is a case-insensitive
+/// exact name match.
+fn matches(filter: &Option<String>, name: &str) -> bool {
+    filter
+        .as_deref()
+        .map_or(true, |f| f.eq_ignore_ascii_case(name))
+}
+
+fn tally(skips: &mut Vec<Skip>, kind: &'static str, algorithm: &'static str, axis: &str) {
+    match skips
+        .iter_mut()
+        .find(|s| s.kind == kind && s.algorithm == algorithm && s.axis == axis)
+    {
+        Some(s) => s.count += 1,
+        None => skips.push(Skip {
+            kind,
+            algorithm,
+            axis: axis.to_string(),
+            count: 1,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> RunConfig {
+        RunConfig {
+            seeds: Some(1),
+            quick: true,
+            ..RunConfig::default()
+        }
+    }
+
+    fn extra_field<'a>(output: &'a ExperimentOutput, key: &str) -> &'a Json {
+        output
+            .extra
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing extra field {key}"))
+    }
+
+    fn int_field(obj: &Json, key: &str) -> i64 {
+        match obj {
+            Json::Obj(pairs) => match pairs.iter().find(|(k, _)| k == key) {
+                Some((_, Json::Int(i))) => *i,
+                other => panic!("field {key} not an int: {other:?}"),
+            },
+            other => panic!("not an object: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quick_matrix_covers_the_claimed_cross_product() {
+        let out = run_scenario_matrix(&quick_config());
+        let mut algorithms = std::collections::BTreeSet::new();
+        let mut families = std::collections::BTreeSet::new();
+        let mut models = std::collections::BTreeSet::new();
+        for case in &out.cases {
+            let get = |key: &str| {
+                case.params
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| format!("{v:?}"))
+                    .unwrap()
+            };
+            algorithms.insert(get("algorithm"));
+            families.insert(get("family"));
+            models.insert(get("model"));
+        }
+        assert!(algorithms.len() >= 6, "algorithms: {algorithms:?}");
+        assert!(families.len() >= 6, "families: {families:?}");
+        assert_eq!(models.len(), 4, "models: {models:?}");
+        // Every compatible case informed every vertex on every seed.
+        for case in &out.cases {
+            let s = case.summary.metric("all_informed").unwrap();
+            assert_eq!(
+                (s.min, s.max),
+                (1.0, 1.0),
+                "not all informed in {:?}",
+                case.params
+            );
+        }
+    }
+
+    #[test]
+    fn skip_accounting_balances_the_cross_product() {
+        let out = run_scenario_matrix(&quick_config());
+        let counts = extra_field(&out, "skip_counts");
+        let total = int_field(counts, "total_combinations");
+        let run = int_field(counts, "run");
+        let skipped = int_field(counts, "skipped_incompatible");
+        assert_eq!(run + skipped, total, "skips must account for every combo");
+        assert_eq!(run, out.cases.len() as i64);
+        assert!(skipped > 0, "the matrix must contain incompatible pairs");
+        // CD-only algorithms under LOCAL are among the counted skips.
+        let model_skips = int_field(counts, "skipped_incompatible_model");
+        assert!(model_skips > 0);
+        // The §8 path algorithm is scoped to the path family.
+        let graph_skips = int_field(counts, "skipped_incompatible_graph");
+        assert!(graph_skips > 0);
+    }
+
+    #[test]
+    fn axis_filters_narrow_the_matrix() {
+        let config = RunConfig {
+            seeds: Some(1),
+            quick: true,
+            family: Some("cycle".into()),
+            model: Some("cd".into()),
+            algo: Some("theorem11".into()),
+        };
+        let out = run_scenario_matrix(&config);
+        assert_eq!(out.cases.len(), 1);
+        let params = &out.cases[0].params;
+        for (key, want) in [
+            ("family", "cycle"),
+            ("model", "cd"),
+            ("algorithm", "theorem11"),
+        ] {
+            let got = params.iter().find(|(k, _)| *k == key).unwrap();
+            assert_eq!(got.1, Json::Str(want.into()));
+        }
+    }
+
+    #[test]
+    fn unknown_filter_yields_an_empty_matrix_not_a_crash() {
+        let config = RunConfig {
+            seeds: Some(1),
+            quick: true,
+            algo: Some("nonexistent".into()),
+            ..RunConfig::default()
+        };
+        let out = run_scenario_matrix(&config);
+        assert!(out.cases.is_empty());
+    }
+}

@@ -16,6 +16,7 @@
 //! | Deterministic broadcast via ruling sets (App. A, Thms. 25, 27) | [`det`] |
 //! | Baselines: naive flood, BGI decay broadcast | [`baseline`] |
 //! | The Theorem 2 lower-bound reduction, executable | [`reduction`] |
+//! | Unified algorithm registry (all of the above behind one trait) | [`suite`] |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub mod path;
 pub mod randomized;
 pub mod reduction;
 pub mod srcomm;
+pub mod suite;
 pub mod util;
 
 pub use ebc_radio::{Action, EnergyMeter, Feedback, Graph, Model, NodeId, Sim, Slot};

@@ -1,0 +1,397 @@
+//! The unified broadcast-algorithm registry.
+//!
+//! Every broadcast entry point in this crate — the Table 1 rows, the §8
+//! path algorithm, and the baselines — wrapped behind one object-safe
+//! trait, so harnesses can sweep the full `algorithm × model × topology`
+//! cross-product the paper's claims range over without hard-coding entry
+//! points.
+//!
+//! Each adapter is *n-aware*: iteration counts, repetition counts, and
+//! tradeoff knobs are derived from the instance (`n`, `Δ`, `D`) at run
+//! time via the algorithms' own default-config scaling, so one registry
+//! entry covers every size.
+//!
+//! ```
+//! use ebc_core::suite::{by_name, ALGORITHMS};
+//! use ebc_graphs::deterministic::cycle;
+//! use ebc_radio::{Model, Sim};
+//!
+//! let alg = by_name("theorem11").unwrap();
+//! assert!(alg.supports_model(Model::NoCd));
+//! let mut sim = Sim::new(cycle(32), Model::NoCd, 7);
+//! assert!(alg.run(&mut sim, 0).all_informed());
+//! ```
+
+use ebc_radio::{EventEngine, Graph, Model, NodeId, Sim};
+
+use crate::baseline::{bgi_decay_broadcast, flood_local};
+use crate::cdfast::{broadcast_theorem20, Theorem20Config};
+use crate::cluster::{broadcast_theorem16, Theorem16Config};
+use crate::det::{broadcast_det_cd, broadcast_det_local, DetCdConfig, DetLocalConfig};
+use crate::path::{run_path_broadcast, PathConfig};
+use crate::randomized::{
+    broadcast_corollary13, broadcast_theorem11, broadcast_theorem12, Theorem11Config,
+    Theorem12Config,
+};
+use crate::BroadcastOutcome;
+
+/// A broadcast algorithm as a uniform, object-safe strategy.
+///
+/// Implementations must be deterministic given `sim.seed()` and must meter
+/// all energy through `sim` (adapters that internally delegate to an
+/// [`EventEngine`] fold the sub-run's meter back via
+/// [`Sim::absorb_meter`]).
+pub trait BroadcastAlgorithm: Sync {
+    /// Stable machine name (also the scenario-matrix JSON key).
+    fn name(&self) -> &'static str;
+
+    /// The collision models the algorithm is defined in.
+    fn supported_models(&self) -> &'static [Model];
+
+    /// Whether the algorithm is defined in `model`.
+    fn supports_model(&self, model: Model) -> bool {
+        self.supported_models().contains(&model)
+    }
+
+    /// Whether the algorithm can run on `graph`. Defaults to `true`;
+    /// topology-restricted algorithms (the §8 path algorithm, bounded-Δ
+    /// Corollary 13) override this so harnesses can filter — and count —
+    /// incompatible pairs instead of crashing on them.
+    fn supports_graph(&self, graph: &Graph) -> bool {
+        let _ = graph;
+        true
+    }
+
+    /// Runs the algorithm on `sim` from `source`. All default parameters
+    /// scale with the instance (`n`, `Δ`, `D`).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `sim.model()` or `sim.graph()` is unsupported — check
+    /// [`supports_model`]/[`supports_graph`] first.
+    ///
+    /// [`supports_model`]: BroadcastAlgorithm::supports_model
+    /// [`supports_graph`]: BroadcastAlgorithm::supports_graph
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome;
+}
+
+/// The four messaging models, in the paper's Table 1 column order. (Beep is
+/// excluded: beeps carry no message content, so broadcast is not
+/// expressible there.)
+pub const MESSAGING_MODELS: [Model; 4] = [Model::Local, Model::Cd, Model::CdStar, Model::NoCd];
+
+/// Theorem 11 — iterated relabeling with `p = 1/2, s = 1`; the paper's
+/// general-purpose row, defined in every messaging model.
+pub struct Theorem11;
+
+impl BroadcastAlgorithm for Theorem11 {
+    fn name(&self) -> &'static str {
+        "theorem11"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &MESSAGING_MODELS
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_theorem11(sim, source, &Theorem11Config::default())
+    }
+}
+
+/// Theorem 12 — CD-only relabeling with model-dependent `(p, s)`, trading
+/// slower label growth for `O(log² n / (ε log log n))` energy.
+pub struct Theorem12;
+
+impl BroadcastAlgorithm for Theorem12 {
+    fn name(&self) -> &'static str {
+        "theorem12"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::Cd, Model::CdStar]
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_theorem12(sim, source, &Theorem12Config::default())
+    }
+}
+
+/// Corollary 13 — No-CD broadcast on bounded-degree graphs via the
+/// Theorem 3 LOCAL simulation (TDMA over a `G + G²` coloring).
+pub struct Corollary13;
+
+impl BroadcastAlgorithm for Corollary13 {
+    fn name(&self) -> &'static str {
+        "corollary13"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::NoCd]
+    }
+    fn supports_graph(&self, graph: &Graph) -> bool {
+        // The corollary assumes Δ = O(1); the TDMA schedule's length grows
+        // with Δ², so unbounded-degree families are out of scope.
+        graph.max_degree() <= 16
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_corollary13(sim, source)
+    }
+}
+
+/// Theorem 16 — Partition(β) clustering for `O(D^{1+ε} polylog n)` time;
+/// runs in any messaging model via that model's SR strategy.
+pub struct Theorem16;
+
+impl BroadcastAlgorithm for Theorem16 {
+    fn name(&self) -> &'static str {
+        "theorem16"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &MESSAGING_MODELS
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_theorem16(sim, source, &Theorem16Config::default())
+    }
+}
+
+/// Theorem 20 — the improved CD algorithm: less energy, `O(Δ n^{1+ξ})`
+/// time.
+pub struct Theorem20;
+
+impl BroadcastAlgorithm for Theorem20 {
+    fn name(&self) -> &'static str {
+        "theorem20"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        // CD only: the §7.2 merge elections detect contention through the
+        // noise signal λN, which CD* (arbitrary-message delivery) never
+        // produces — under CD* the cluster state goes invalid.
+        &[Model::Cd]
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_theorem20(sim, source, &Theorem20Config::default())
+    }
+}
+
+/// The §8 path algorithm (Theorem 21): `≤ 2n` delivery time at `O(log n)`
+/// expected per-vertex energy — defined only on the canonical
+/// `0–1–…–(n−1)` path.
+pub struct PathAlgorithm;
+
+impl BroadcastAlgorithm for PathAlgorithm {
+    fn name(&self) -> &'static str {
+        "path_theorem21"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::Local]
+    }
+    fn supports_graph(&self, graph: &Graph) -> bool {
+        let n = graph.n();
+        n >= 2 && graph.m() == n - 1 && (0..n - 1).all(|v| graph.has_edge(v, v + 1))
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        // The protocol sleeps for long data-dependent stretches, so it runs
+        // on the event-driven engine (over the *same* shared graph — no CSR
+        // copy) and its meter folds back into `sim`.
+        let mut engine = EventEngine::new(sim.graph_arc().clone(), sim.model());
+        let stats = run_path_broadcast(&mut engine, source, &PathConfig::default(), sim.seed());
+        sim.absorb_meter(engine.meter());
+        sim.skip(stats.quiescence + 1);
+        BroadcastOutcome {
+            informed: stats.delivery_slot.iter().map(|s| s.is_some()).collect(),
+            source,
+        }
+    }
+}
+
+/// Deterministic LOCAL broadcast (Theorem 25) via `G_L` ruling sets.
+pub struct DetLocal;
+
+impl BroadcastAlgorithm for DetLocal {
+    fn name(&self) -> &'static str {
+        "det_local_theorem25"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::Local]
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_det_local(sim, source, &DetLocalConfig::default())
+    }
+}
+
+/// Deterministic CD broadcast (Theorem 27) via iterated ruling-set
+/// clustering.
+pub struct DetCd;
+
+impl BroadcastAlgorithm for DetCd {
+    fn name(&self) -> &'static str {
+        "det_cd_theorem27"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::Cd, Model::CdStar]
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        broadcast_det_cd(sim, source, &DetCdConfig::default())
+    }
+}
+
+/// Naive LOCAL flooding — the time-optimal, energy-hungry baseline.
+pub struct NaiveFlood;
+
+impl BroadcastAlgorithm for NaiveFlood {
+    fn name(&self) -> &'static str {
+        "naive_flood"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::Local]
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        flood_local(sim, source)
+    }
+}
+
+/// The Bar-Yehuda–Goldreich–Itai decay broadcast — near-optimal time,
+/// `Θ(time)` energy; the gap that motivates the paper.
+pub struct BgiDecay;
+
+impl BroadcastAlgorithm for BgiDecay {
+    fn name(&self) -> &'static str {
+        "bgi_decay"
+    }
+    fn supported_models(&self) -> &'static [Model] {
+        &[Model::NoCd, Model::Cd, Model::CdStar]
+    }
+    fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
+        bgi_decay_broadcast(sim, source, None)
+    }
+}
+
+/// Every registered algorithm, in presentation order: the Table 1 rows
+/// first, then the §8 path algorithm, then the baselines.
+pub static ALGORITHMS: &[&dyn BroadcastAlgorithm] = &[
+    &Theorem11,
+    &Theorem12,
+    &Corollary13,
+    &Theorem16,
+    &Theorem20,
+    &PathAlgorithm,
+    &DetLocal,
+    &DetCd,
+    &NaiveFlood,
+    &BgiDecay,
+];
+
+/// Looks up a registered algorithm by exact name.
+pub fn by_name(name: &str) -> Option<&'static dyn BroadcastAlgorithm> {
+    ALGORITHMS.iter().copied().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebc_graphs::deterministic::{cycle, path};
+    use ebc_graphs::families::Family;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = ALGORITHMS.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate algorithm names");
+        for n in names {
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "name {n:?} is not a stable key"
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for alg in ALGORITHMS {
+            assert_eq!(by_name(alg.name()).unwrap().name(), alg.name());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_algorithm_supports_at_least_one_model() {
+        for alg in ALGORITHMS {
+            assert!(
+                !alg.supported_models().is_empty(),
+                "{} supports no model",
+                alg.name()
+            );
+            for &m in alg.supported_models() {
+                assert!(alg.supports_model(m));
+                assert_ne!(m, Model::Beep, "broadcast is not expressible in Beep");
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_informs_a_cycle_in_its_first_model() {
+        // The cycle is in every algorithm's topology scope; each runs in
+        // its first supported model.
+        for alg in ALGORITHMS {
+            let g = cycle(16);
+            if !alg.supports_graph(&g) {
+                continue; // path_theorem21: cycles are out of scope
+            }
+            let model = alg.supported_models()[0];
+            let mut sim = Sim::new(g, model, 42);
+            let out = alg.run(&mut sim, 0);
+            assert!(out.all_informed(), "{} failed on cycle(16)", alg.name());
+            assert!(
+                sim.meter().total_energy() > 0,
+                "{} metered no energy",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn path_adapter_merges_engine_energy_into_sim() {
+        let mut sim = Sim::new(path(32), Model::Local, 3);
+        let out = PathAlgorithm.run(&mut sim, 0);
+        assert!(out.all_informed());
+        assert!(sim.meter().total_energy() > 0, "engine energy not absorbed");
+        assert!(sim.now() > 0, "clock did not advance over the sub-run");
+        assert!(sim.meter().last_active().unwrap() < sim.now());
+    }
+
+    #[test]
+    fn path_adapter_rejects_non_paths_via_supports_graph() {
+        assert!(PathAlgorithm.supports_graph(&path(8)));
+        assert!(!PathAlgorithm.supports_graph(&cycle(8)));
+        assert!(!PathAlgorithm.supports_graph(&ebc_graphs::deterministic::star(4)));
+    }
+
+    #[test]
+    fn corollary13_scopes_out_unbounded_degree() {
+        assert!(Corollary13.supports_graph(&cycle(64)));
+        assert!(!Corollary13.supports_graph(&ebc_graphs::deterministic::star(64)));
+    }
+
+    #[test]
+    fn model_filtering_matches_table1() {
+        assert!(by_name("theorem12").unwrap().supports_model(Model::Cd));
+        assert!(!by_name("theorem12").unwrap().supports_model(Model::NoCd));
+        assert!(!by_name("det_local_theorem25")
+            .unwrap()
+            .supports_model(Model::Cd));
+        assert!(by_name("bgi_decay").unwrap().supports_model(Model::NoCd));
+        for alg in ALGORITHMS {
+            assert!(!alg.supports_model(Model::Beep), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn suite_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let g = Family::Grid.instance(16, 1).graph;
+            let mut sim = Sim::new(g, Model::Cd, seed);
+            let out = Theorem11.run(&mut sim, 0);
+            (out.count(), sim.now(), sim.meter().total_energy())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -182,6 +182,37 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     Graph::from_edges(n, &edges).expect("valid caterpillar")
 }
 
+/// A barbell: two cliques of `clique` vertices joined by a path of `bridge`
+/// vertices (clique A is `0..clique`, the bridge follows, clique B is last).
+/// Two zones of maximal contention separated by a long thin channel —
+/// broadcast must win a leader-election-like race at both ends and relay
+/// through the middle. Diameter `bridge + 3` for `clique ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `clique < 2`.
+pub fn barbell(clique: usize, bridge: usize) -> Graph {
+    assert!(clique >= 2, "barbell needs cliques of at least 2");
+    let n = 2 * clique + bridge;
+    let mut edges = Vec::new();
+    for base in [0, clique + bridge] {
+        for u in 0..clique {
+            for v in u + 1..clique {
+                edges.push((base + u, base + v));
+            }
+        }
+    }
+    for i in 0..bridge.saturating_sub(1) {
+        edges.push((clique + i, clique + i + 1));
+    }
+    // A's attachment meets the bridge head — or B directly when bridge = 0.
+    edges.push((0, clique));
+    if bridge > 0 {
+        edges.push((clique + bridge - 1, clique + bridge));
+    }
+    Graph::from_edges(n, &edges).expect("valid barbell")
+}
+
 /// A lollipop: a clique of `clique` vertices with a path of `tail` vertices
 /// hanging off vertex 0. Mixes high contention (the clique) with a long
 /// synchronization chain (the tail) — the two costs Theorems 1 and 2 tease
@@ -320,6 +351,24 @@ mod tests {
         assert_eq!(g.degree(2), 5);
         // A leg is a leaf.
         assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3);
+        assert_eq!(g.n(), 11);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(6)); // bridge + 3
+        assert_eq!(g.degree(0), 4); // 3 clique + bridge head
+        assert_eq!(g.degree(5), 2); // bridge interior
+    }
+
+    #[test]
+    fn barbell_without_bridge_is_two_joined_cliques() {
+        let g = barbell(3, 0);
+        assert_eq!(g.n(), 6);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(3));
     }
 
     #[test]

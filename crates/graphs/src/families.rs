@@ -33,6 +33,15 @@ pub enum Family {
     K2k,
     /// `deterministic::star` (hub + n−1 leaves).
     Star,
+    /// `deterministic::hypercube` with dimension ⌊log₂ n⌉ — diameter and
+    /// degree both `log n`, the densest family whose diameter still grows.
+    Hypercube,
+    /// `random::unit_disk` — random geometric graph with expected degree
+    /// ≈ 8; collisions are spatially correlated.
+    UnitDisk,
+    /// `deterministic::barbell` — two n/3 cliques joined by an n/3 path;
+    /// maximal contention at both ends of a long thin channel.
+    Barbell,
 }
 
 /// A generated instance plus its metadata.
@@ -61,7 +70,33 @@ impl Family {
             Family::ClusterChain8 => "cluster-chain-8",
             Family::K2k => "K_{2,k}",
             Family::Star => "star",
+            Family::Hypercube => "hypercube",
+            Family::UnitDisk => "unit-disk",
+            Family::Barbell => "barbell",
         }
+    }
+
+    /// Every family, in declaration order.
+    pub const ALL: [Family; 14] = [
+        Family::Path,
+        Family::Cycle,
+        Family::Ladder,
+        Family::Grid,
+        Family::BinaryTree,
+        Family::BoundedDeg4,
+        Family::BoundedDeg16,
+        Family::GnpAvgDeg8,
+        Family::ClusterChain8,
+        Family::K2k,
+        Family::Star,
+        Family::Hypercube,
+        Family::UnitDisk,
+        Family::Barbell,
+    ];
+
+    /// Looks up a family by its display name.
+    pub fn by_name(name: &str) -> Option<Family> {
+        Family::ALL.iter().copied().find(|f| f.name() == name)
     }
 
     /// Generates an instance with approximately `n` vertices.
@@ -84,9 +119,14 @@ impl Family {
                 (deterministic::grid(side, side), Some(2 * (side as u32 - 1)))
             }
             Family::BinaryTree => {
-                let depth = (n as f64).log2().ceil() as u32;
-                let g = deterministic::complete_tree(2, depth.saturating_sub(1).max(1));
-                (g, Some(2 * depth.saturating_sub(1).max(1)))
+                // Smallest complete binary tree with ≥ n vertices: depth d
+                // gives 2^{d+1} − 1 vertices. (The old ⌈log₂ n⌉ − 1 depth
+                // undershot: instance(8) produced a 7-vertex tree.)
+                let mut depth = 1u32;
+                while (1usize << (depth + 1)) - 1 < n {
+                    depth += 1;
+                }
+                (deterministic::complete_tree(2, depth), Some(2 * depth))
             }
             Family::BoundedDeg4 => (random::bounded_degree(n, 4, 1.5, seed), None),
             Family::BoundedDeg16 => (random::bounded_degree(n, 16, 4.0, seed), None),
@@ -100,6 +140,21 @@ impl Family {
             }
             Family::K2k => (deterministic::k2k(n - 2), Some(2)),
             Family::Star => (deterministic::star(n - 1), Some(2)),
+            Family::Hypercube => {
+                let d = ((n as f64).log2().round() as u32).max(3);
+                (deterministic::hypercube(d), Some(d))
+            }
+            Family::UnitDisk => {
+                // πr²n ≈ 8 → expected degree ≈ 8, above the connectivity
+                // threshold at bench sizes.
+                let r = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+                (random::unit_disk(n, r, seed), None)
+            }
+            Family::Barbell => {
+                let k = (n / 3).max(3);
+                let bridge = n.saturating_sub(2 * k);
+                (deterministic::barbell(k, bridge), Some(bridge as u32 + 3))
+            }
         };
         Instance {
             name: self.name(),
@@ -121,23 +176,9 @@ impl Instance {
 mod tests {
     use super::*;
 
-    const ALL: [Family; 11] = [
-        Family::Path,
-        Family::Cycle,
-        Family::Ladder,
-        Family::Grid,
-        Family::BinaryTree,
-        Family::BoundedDeg4,
-        Family::BoundedDeg16,
-        Family::GnpAvgDeg8,
-        Family::ClusterChain8,
-        Family::K2k,
-        Family::Star,
-    ];
-
     #[test]
     fn every_family_generates_connected_instances() {
-        for fam in ALL {
+        for fam in Family::ALL {
             let inst = fam.instance(64, 12345);
             assert!(
                 inst.graph.is_connected(),
@@ -149,22 +190,24 @@ mod tests {
 
     #[test]
     fn known_diameters_match_exact() {
-        for fam in ALL {
-            let inst = fam.instance(32, 7);
-            if let Some(d) = inst.diameter {
-                assert_eq!(
-                    d,
-                    inst.graph.diameter_exact().unwrap(),
-                    "family {}",
-                    fam.name()
-                );
+        for fam in Family::ALL {
+            for n in [8, 32] {
+                let inst = fam.instance(n, 7);
+                if let Some(d) = inst.diameter {
+                    assert_eq!(
+                        d,
+                        inst.graph.diameter_exact().unwrap(),
+                        "family {} at n={n}",
+                        fam.name()
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn instance_sizes_are_close_to_requested() {
-        for fam in ALL {
+        for fam in Family::ALL {
             let inst = fam.instance(128, 3);
             let n = inst.graph.n();
             assert!(
@@ -173,5 +216,47 @@ mod tests {
                 fam.name()
             );
         }
+    }
+
+    #[test]
+    fn size_contract_holds_at_the_n8_boundary() {
+        // The documented contract: instance(n) has approximately n vertices
+        // for every n ≥ 8. "Approximately" means within [n/2, 2n] — the
+        // regression this pins: BinaryTree::instance(8) used to produce a
+        // 7-vertex graph.
+        for fam in Family::ALL {
+            for n in [8, 9, 12, 16] {
+                let inst = fam.instance(n, 11);
+                let got = inst.graph.n();
+                assert!(
+                    (n / 2..=2 * n).contains(&got),
+                    "{}: instance({n}) has {got} vertices",
+                    fam.name()
+                );
+                assert!(got >= 8, "{}: instance({n}) shrank below 8", fam.name());
+                assert!(
+                    inst.graph.is_connected(),
+                    "{}: instance({n}) disconnected",
+                    fam.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_has_at_least_n_vertices() {
+        for n in [8, 15, 16, 31, 100] {
+            let got = Family::BinaryTree.instance(n, 0).graph.n();
+            assert!(got >= n, "instance({n}) has only {got} vertices");
+            assert!(got <= 2 * n, "instance({n}) overshot to {got}");
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for fam in Family::ALL {
+            assert_eq!(Family::by_name(fam.name()), Some(fam));
+        }
+        assert_eq!(Family::by_name("nope"), None);
     }
 }

@@ -129,6 +129,48 @@ pub fn cluster_chain(blocks: usize, block_size: usize, seed: u64) -> Graph {
     Graph::from_edges(n, &edges).expect("valid cluster chain")
 }
 
+/// A random geometric (unit-disk) graph: `n` points uniform in the unit
+/// square, an edge wherever two points are within `radius`, plus the edges
+/// of a random spanning tree so the result is always connected (the same
+/// "connected surrogate" trick as [`gnp_connected`]; above the connectivity
+/// threshold `r = Θ(√(ln n / n))` the added tree changes almost nothing).
+///
+/// The radio-network interpretation is literal: vertices are transceivers
+/// on a plane and `radius` is transmission range, so collision patterns are
+/// spatially correlated — unlike any of the combinatorial families.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius` is not positive.
+pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(radius > 0.0, "radius must be positive");
+    let mut rng = node_rng(seed, 4, stream_tag(4));
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push((u, v));
+            }
+        }
+    }
+    let tree = random_tree(n, seed ^ 0xd15c_0000_0000_0001);
+    for u in 0..n {
+        for v in tree.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid unit-disk graph")
+}
+
 /// Internal: distinct derivation streams for the generators in this module.
 fn stream_tag(k: u64) -> u64 {
     0x6772_6170_6873_0000 | k
@@ -193,10 +235,24 @@ mod tests {
     }
 
     #[test]
+    fn unit_disk_connected_and_geometric() {
+        for seed in 0..10 {
+            let g = unit_disk(60, 0.25, seed);
+            assert_eq!(g.n(), 60);
+            assert!(g.is_connected());
+        }
+        // A generous radius yields a dense graph; a tiny one degenerates to
+        // roughly the backbone tree.
+        assert!(unit_disk(60, 0.8, 1).m() > 300);
+        assert!(unit_disk(60, 1e-6, 1).m() < 80);
+    }
+
+    #[test]
     fn generators_are_reproducible() {
         assert_eq!(random_tree(30, 5), random_tree(30, 5));
         assert_eq!(gnp_connected(30, 0.1, 5), gnp_connected(30, 0.1, 5));
         assert_eq!(bounded_degree(30, 3, 1.0, 5), bounded_degree(30, 3, 1.0, 5));
+        assert_eq!(unit_disk(30, 0.3, 5), unit_disk(30, 0.3, 5));
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl EnergyMeter {
     }
 
     /// A summary snapshot suitable for printing in benchmark tables.
+    ///
+    /// Percentiles use the ceil-based nearest-rank definition: the q-th
+    /// percentile is the smallest value with at least `⌈q·len⌉` values at
+    /// or below it. (The old `((len-1)·q) as usize` truncated — on a
+    /// 4-device network "p95" reported index 2, roughly p66.)
     pub fn report(&self) -> EnergyReport {
         let n = self.sends.len();
         let mut energies: Vec<u64> = (0..n).map(|v| self.energy(v)).collect();
@@ -92,7 +97,8 @@ impl EnergyMeter {
             if energies.is_empty() {
                 0
             } else {
-                energies[((energies.len() - 1) as f64 * q) as usize]
+                let rank = (energies.len() as f64 * q).ceil() as usize;
+                energies[rank.clamp(1, energies.len()) - 1]
             }
         };
         EnergyReport {
@@ -110,6 +116,31 @@ impl EnergyMeter {
         self.sends.iter_mut().for_each(|x| *x = 0);
         self.listens.iter_mut().for_each(|x| *x = 0);
         self.last_active = None;
+    }
+
+    /// Folds `other`'s charges into this meter (device-wise sums, latest
+    /// activity wins). Used when a sub-engine runs part of a simulation —
+    /// e.g. an event-driven phase inside a slot-driven algorithm — and its
+    /// energy must count toward the enclosing run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meters track different device counts.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        assert_eq!(
+            self.sends.len(),
+            other.sends.len(),
+            "cannot merge meters over different device counts"
+        );
+        for (a, b) in self.sends.iter_mut().zip(&other.sends) {
+            *a += b;
+        }
+        for (a, b) in self.listens.iter_mut().zip(&other.listens) {
+            *a += b;
+        }
+        if let Some(t) = other.last_active {
+            self.bump(t);
+        }
     }
 }
 
@@ -180,6 +211,67 @@ mod tests {
         assert_eq!(r.total, 11);
         assert_eq!(r.time, 10);
         assert!((r.mean - 11.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_use_ceil_based_nearest_rank() {
+        // Energies 1, 2, 3, 4 across four devices: p95's rank is ⌈4·0.95⌉
+        // = 4 → the max; the median's rank is ⌈4·0.5⌉ = 2.
+        let mut m = EnergyMeter::new(4);
+        for v in 0..4 {
+            for t in 0..=v as u64 {
+                m.charge_listen(v, t);
+            }
+        }
+        let r = m.report();
+        assert_eq!(r.p95, 4, "p95 on 4 devices must be the max");
+        assert_eq!(r.median, 2);
+
+        // 20 devices with energies 1..=20: rank ⌈20·0.95⌉ = 19 → value 19.
+        let mut m = EnergyMeter::new(20);
+        for v in 0..20 {
+            for t in 0..=v as u64 {
+                m.charge_send(v, t);
+            }
+        }
+        let r = m.report();
+        assert_eq!(r.p95, 19);
+        assert_eq!(r.median, 10);
+    }
+
+    #[test]
+    fn single_device_percentiles_are_its_energy() {
+        let mut m = EnergyMeter::new(1);
+        m.charge_send(0, 0);
+        m.charge_listen(0, 1);
+        let r = m.report();
+        assert_eq!(r.median, 2);
+        assert_eq!(r.p95, 2);
+    }
+
+    #[test]
+    fn merge_sums_charges_and_takes_latest_activity() {
+        let mut a = EnergyMeter::new(3);
+        a.charge_send(0, 5);
+        a.charge_listen(2, 9);
+        let mut b = EnergyMeter::new(3);
+        b.charge_send(0, 2);
+        b.charge_listen(1, 30);
+        a.merge(&b);
+        assert_eq!(a.sends(0), 2);
+        assert_eq!(a.listens(1), 1);
+        assert_eq!(a.listens(2), 1);
+        assert_eq!(a.last_active(), Some(30));
+        // Merging an untouched meter changes nothing.
+        a.merge(&EnergyMeter::new(3));
+        assert_eq!(a.total_energy(), 4);
+        assert_eq!(a.last_active(), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "different device counts")]
+    fn merge_rejects_mismatched_sizes() {
+        EnergyMeter::new(2).merge(&EnergyMeter::new(3));
     }
 
     #[test]

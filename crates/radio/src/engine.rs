@@ -8,6 +8,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::model::{resolve, Action, Feedback, Model};
 use crate::trace::{Trace, TraceKind};
@@ -56,16 +57,22 @@ pub struct RunOutcome {
 /// Event-driven executor over a graph and collision model.
 #[derive(Debug)]
 pub struct EventEngine {
-    graph: Graph,
+    graph: Arc<Graph>,
     model: Model,
     meter: EnergyMeter,
     trace: Option<Trace>,
     sending: Vec<u32>,
+    /// Scratch: `listening[v]` iff `v` listened in the current slot.
+    listening: Vec<bool>,
 }
 
 impl EventEngine {
     /// A fresh engine over `graph` under `model`.
-    pub fn new(graph: Graph, model: Model) -> Self {
+    ///
+    /// Accepts either an owned [`Graph`] or an [`Arc<Graph>`], so seed
+    /// sweeps can share one CSR allocation across engines.
+    pub fn new(graph: impl Into<Arc<Graph>>, model: Model) -> Self {
+        let graph = graph.into();
         let n = graph.n();
         EventEngine {
             graph,
@@ -73,11 +80,17 @@ impl EventEngine {
             meter: EnergyMeter::new(n),
             trace: None,
             sending: vec![0; n],
+            listening: vec![false; n],
         }
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared handle to the underlying graph (cheap to clone).
+    pub fn graph_arc(&self) -> &Arc<Graph> {
         &self.graph
     }
 
@@ -149,6 +162,7 @@ impl EventEngine {
                     }
                     Action::Listen => {
                         self.meter.charge_listen(v, t);
+                        self.listening[v] = true;
                         listeners.push(v);
                     }
                     Action::SendListen(m) => {
@@ -158,6 +172,7 @@ impl EventEngine {
                             tr.push(t, v, TraceKind::Send(format!("{m:?}")));
                         }
                         senders.push((v, m));
+                        self.listening[v] = true;
                         listeners.push(v);
                     }
                 }
@@ -166,7 +181,7 @@ impl EventEngine {
                 self.sending[*v] = i as u32 + 1;
             }
             for &v in &awake {
-                let heard = if listeners.contains(&v) {
+                let heard = if self.listening[v] {
                     let fb = resolve(
                         self.model,
                         self.graph.neighbors(v).filter_map(|u| {
@@ -197,6 +212,9 @@ impl EventEngine {
             }
             for (v, _) in &senders {
                 self.sending[*v] = 0;
+            }
+            for &v in &listeners {
+                self.listening[v] = false;
             }
         }
         RunOutcome {
@@ -431,6 +449,65 @@ mod tests {
         // Endpoints: 1 each.
         assert_eq!(eng.meter().energy(0), 1);
         assert_eq!(eng.meter().energy(n - 1), 1);
+    }
+
+    #[test]
+    fn dense_slots_resolve_feedback_for_exactly_the_listeners() {
+        // Every device is awake every slot; roles alternate by slot parity,
+        // so yesterday's listeners are today's senders. Listeners must get
+        // `Some` feedback, senders `None`, with no carry-over between slots.
+        let n = 12;
+        let g = crate::Graph::from_edges(
+            n,
+            &(0..n)
+                .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        struct Dense {
+            rounds: Slot,
+            heard: Vec<(Slot, NodeId, bool)>,
+        }
+        impl Protocol<u8> for Dense {
+            fn first_wake(&mut self, _v: NodeId) -> NextWake {
+                NextWake::At(1)
+            }
+            fn on_wake(&mut self, v: NodeId, now: Slot) -> Action<u8> {
+                if (v as Slot + now) % 2 == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(1)
+                }
+            }
+            fn after_slot(
+                &mut self,
+                v: NodeId,
+                now: Slot,
+                heard: Option<Feedback<u8>>,
+            ) -> NextWake {
+                self.heard.push((now, v, heard.is_some()));
+                if now >= self.rounds {
+                    NextWake::Done
+                } else {
+                    NextWake::At(now + 1)
+                }
+            }
+        }
+        let mut eng = EventEngine::new(g, Model::Cd);
+        let mut p = Dense {
+            rounds: 4,
+            heard: Vec::new(),
+        };
+        let out = eng.run(&mut p, 100);
+        assert!(out.completed);
+        assert_eq!(p.heard.len(), 4 * n);
+        for &(now, v, got) in &p.heard {
+            let listened = (v as Slot + now) % 2 == 0;
+            assert_eq!(got, listened, "slot {now} node {v}");
+        }
+        // 6 senders per slot on a clique: every listener heard noise, which
+        // the meter sees as one listen charge per listening slot.
+        assert_eq!(eng.meter().energy(0), 4);
     }
 
     // Silence the unused struct warning for Relay (kept as documentation of

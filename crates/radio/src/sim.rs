@@ -1,5 +1,7 @@
 //! The phase-composed simulation engine.
 
+use std::sync::Arc;
+
 use crate::model::{resolve, Action, Feedback, Model};
 use crate::trace::{Trace, TraceKind};
 use crate::{EnergyMeter, Graph, NodeId, Slot};
@@ -57,7 +59,7 @@ where
 /// deterministic.
 #[derive(Debug)]
 pub struct Sim {
-    graph: Graph,
+    graph: Arc<Graph>,
     model: Model,
     clock: Slot,
     meter: EnergyMeter,
@@ -69,7 +71,12 @@ pub struct Sim {
 
 impl Sim {
     /// A fresh simulation over `graph` under `model` with master `seed`.
-    pub fn new(graph: Graph, model: Model, seed: u64) -> Self {
+    ///
+    /// Accepts either an owned [`Graph`] or an [`Arc<Graph>`]; parallel seed
+    /// sweeps pass `Arc::clone`s of one shared graph so the CSR arrays are
+    /// never deep-copied per seed.
+    pub fn new(graph: impl Into<Arc<Graph>>, model: Model, seed: u64) -> Self {
+        let graph = graph.into();
         let n = graph.n();
         Sim {
             graph,
@@ -84,6 +91,12 @@ impl Sim {
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared handle to the underlying graph (cheap to clone; useful
+    /// for spawning sub-engines over the same topology).
+    pub fn graph_arc(&self) -> &Arc<Graph> {
         &self.graph
     }
 
@@ -110,6 +123,19 @@ impl Sim {
     /// Advances the clock over `slots` slots in which every device idles.
     pub fn skip(&mut self, slots: u64) {
         self.clock += slots;
+    }
+
+    /// Folds a sub-engine's [`EnergyMeter`] into this simulation's meter —
+    /// for algorithms that delegate a phase to an [`crate::EventEngine`]
+    /// over the same graph. The caller advances the clock with [`skip`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meters track different device counts.
+    ///
+    /// [`skip`]: Sim::skip
+    pub fn absorb_meter(&mut self, other: &EnergyMeter) {
+        self.meter.merge(other);
     }
 
     /// Starts recording a [`Trace`] of all subsequent slots.
@@ -359,6 +385,15 @@ mod tests {
         assert_eq!(tr.events().len(), 2);
         assert_eq!(tr.events()[0].kind, TraceKind::Send("9".into()));
         assert_eq!(tr.events()[1].kind, TraceKind::Recv("9".into()));
+    }
+
+    #[test]
+    fn sims_over_one_arc_share_the_graph_allocation() {
+        let g = Arc::new(star(2));
+        let a = Sim::new(Arc::clone(&g), Model::Cd, 0);
+        let b = Sim::new(Arc::clone(&g), Model::Cd, 1);
+        assert!(Arc::ptr_eq(a.graph_arc(), b.graph_arc()));
+        assert!(Arc::ptr_eq(a.graph_arc(), &g));
     }
 
     #[test]
