@@ -1,0 +1,506 @@
+//! Scaling-law analysis over the scenario matrix's n axis.
+//!
+//! The paper's headline claims are asymptotic — Θ(log n·log log n /
+//! log log log n) energy for randomized CD broadcast, the polylog
+//! deterministic bounds of Theorems 25/27, the Θ(D) baseline gap — so raw
+//! per-n numbers demonstrate nothing by themselves. This module fits
+//! growth curves across the n axis of every `(algorithm, family, model)`
+//! cell:
+//!
+//! * a **power-law** fit `y = C·nᵇ` (least squares on `ln y` vs `ln n`;
+//!   the slope `b` is the scaling exponent),
+//! * a **polylog** fit `y = C·(ln n)ᵏ` (least squares on `ln y` vs
+//!   `ln ln n`),
+//!
+//! each with its R², plus a classification: whichever model explains the
+//! series better names the growth class (`flat` / `polylog` /
+//! `polynomial`). Fitted exponents are what the CI baseline gate diffs —
+//! a reproduction whose theorem-25 energy exponent drifts from polylog
+//! toward polynomial has regressed *asymptotically* even if every
+//! absolute number still looks plausible.
+
+use crate::json::Json;
+use crate::measure::Case;
+
+/// Metrics fitted across the n axis, in presentation order.
+pub const FIT_METRICS: [&str; 3] = ["energy_max", "energy_mean", "time"];
+
+/// Minimum finite points for a fit to be attempted at all.
+pub const MIN_FIT_POINTS: usize = 3;
+
+/// One fitted line `y ≈ intercept + slope·x` in a transformed space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitLine {
+    /// The least-squares slope (the scaling exponent).
+    pub slope: f64,
+    /// The least-squares intercept (`ln C`).
+    pub intercept: f64,
+    /// Coefficient of determination in the transformed space; a constant
+    /// series fits perfectly (R² = 1) with slope 0.
+    pub r2: f64,
+}
+
+/// Ordinary least squares of `ys` on `xs`. `None` if fewer than two
+/// points, any non-finite coordinate, or a degenerate (constant-x) design.
+pub fn least_squares(xs: &[f64], ys: &[f64]) -> Option<FitLine> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot <= 0.0 {
+        1.0 // constant y: the horizontal line explains it exactly
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(FitLine {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// Keeps only points a log-log fit can use: finite coordinates with
+/// `x > min_x` and `y > 0`.
+fn usable(points: &[(f64, f64)], min_x: f64) -> Vec<(f64, f64)> {
+    points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x.is_finite() && y.is_finite() && x > min_x && y > 0.0)
+        .collect()
+}
+
+/// Fits `y = C·nᵇ` over `(n, y)` points: least squares of `ln y` on
+/// `ln n`. Points with `y ≤ 0` or NaN anywhere are dropped (their log is
+/// undefined); `None` if fewer than two usable points remain.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<FitLine> {
+    let pts = usable(points, 0.0);
+    let xs: Vec<f64> = pts.iter().map(|(x, _)| x.ln()).collect();
+    let ys: Vec<f64> = pts.iter().map(|(_, y)| y.ln()).collect();
+    least_squares(&xs, &ys)
+}
+
+/// Fits `y = C·(ln n)ᵏ`: least squares of `ln y` on `ln ln n`. Points
+/// with `n ≤ 1` additionally drop (their `ln ln` is undefined).
+pub fn fit_polylog(points: &[(f64, f64)]) -> Option<FitLine> {
+    let pts = usable(points, 1.0);
+    let xs: Vec<f64> = pts.iter().map(|(x, _)| x.ln().ln()).collect();
+    let ys: Vec<f64> = pts.iter().map(|(_, y)| y.ln()).collect();
+    least_squares(&xs, &ys)
+}
+
+/// The growth class a fitted series falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthClass {
+    /// Too few usable points to call ([`MIN_FIT_POINTS`]).
+    Insufficient,
+    /// Essentially size-independent (|power-law exponent| < 0.15).
+    Flat,
+    /// The polylog model explains the series at least as well as the
+    /// power law — the shape every paper upper bound predicts for energy.
+    Polylog,
+    /// The power law wins — expected for times (and for the Θ(D)-energy
+    /// baselines the paper improves on).
+    Polynomial,
+}
+
+impl GrowthClass {
+    /// The stable JSON name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GrowthClass::Insufficient => "insufficient-points",
+            GrowthClass::Flat => "flat",
+            GrowthClass::Polylog => "polylog",
+            GrowthClass::Polynomial => "polynomial",
+        }
+    }
+}
+
+/// Classifies a series from its two fits and usable point count.
+pub fn classify(power: Option<&FitLine>, polylog: Option<&FitLine>, points: usize) -> GrowthClass {
+    if points < MIN_FIT_POINTS {
+        return GrowthClass::Insufficient;
+    }
+    let Some(pow) = power else {
+        return GrowthClass::Insufficient;
+    };
+    if pow.slope.abs() < 0.15 {
+        return GrowthClass::Flat;
+    }
+    match polylog {
+        // The log-log space is exact for power laws and concave for
+        // polylogs, so comparing R² separates the two shapes.
+        Some(pl) if pl.r2 >= pow.r2 - 1e-9 => GrowthClass::Polylog,
+        _ => GrowthClass::Polynomial,
+    }
+}
+
+/// One metric's fits within a cell.
+#[derive(Debug, Clone)]
+pub struct MetricFit {
+    /// Metric name (`energy_max`, `energy_mean`, `time`).
+    pub metric: &'static str,
+    /// Usable `(n, mean)` points after dropping non-positive/NaN values.
+    pub points: usize,
+    /// The power-law fit, if computable.
+    pub power: Option<FitLine>,
+    /// The polylog fit, if computable.
+    pub polylog: Option<FitLine>,
+    /// The growth class.
+    pub class: GrowthClass,
+}
+
+/// Scaling fits of one `(algorithm, family, model)` cell across its n axis.
+#[derive(Debug, Clone)]
+pub struct CellFit {
+    /// Algorithm registry name.
+    pub algorithm: String,
+    /// Graph family display name.
+    pub family: String,
+    /// Collision model JSON key.
+    pub model: String,
+    /// The n values the cell ran at, ascending.
+    pub sizes: Vec<f64>,
+    /// Whether the cell's n-sweep was cut short by the wall-clock budget
+    /// (fewer sizes than the matrix planned).
+    pub truncated: bool,
+    /// Per-metric fits, in [`FIT_METRICS`] order.
+    pub metrics: Vec<MetricFit>,
+}
+
+fn param_str(case: &Case, key: &str) -> Option<String> {
+    case.params
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            Json::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+}
+
+fn param_f64(case: &Case, key: &str) -> Option<f64> {
+    case.params
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.as_f64())
+}
+
+fn param_bool(case: &Case, key: &str) -> bool {
+    matches!(
+        case.params.iter().find(|(k, _)| *k == key),
+        Some((_, Json::Bool(true)))
+    )
+}
+
+/// Groups scenario-matrix cases into `(algorithm, family, model)` cells
+/// and fits every [`FIT_METRICS`] series across each cell's n axis.
+///
+/// Cases missing any of the three identity params are skipped; cells keep
+/// first-appearance order, sizes sort ascending within a cell. A cell is
+/// `truncated` if any of its cases carries the `truncated: true` param.
+pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
+    struct CellAcc {
+        algorithm: String,
+        family: String,
+        model: String,
+        truncated: bool,
+        // (n, per-metric mean) rows, later sorted by n.
+        rows: Vec<(f64, Vec<f64>)>,
+    }
+    let mut cells: Vec<CellAcc> = Vec::new();
+    for case in cases {
+        let (Some(algorithm), Some(family), Some(model), Some(n)) = (
+            param_str(case, "algorithm"),
+            param_str(case, "family"),
+            param_str(case, "model"),
+            param_f64(case, "n"),
+        ) else {
+            continue;
+        };
+        let means: Vec<f64> = FIT_METRICS
+            .iter()
+            .map(|m| case.summary.metric(m).map_or(f64::NAN, |s| s.mean))
+            .collect();
+        let truncated = param_bool(case, "truncated");
+        match cells
+            .iter_mut()
+            .find(|c| c.algorithm == algorithm && c.family == family && c.model == model)
+        {
+            Some(cell) => {
+                cell.rows.push((n, means));
+                cell.truncated |= truncated;
+            }
+            None => cells.push(CellAcc {
+                algorithm,
+                family,
+                model,
+                truncated,
+                rows: vec![(n, means)],
+            }),
+        }
+    }
+    cells
+        .into_iter()
+        .map(|mut cell| {
+            cell.rows
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite n"));
+            let metrics = FIT_METRICS
+                .iter()
+                .enumerate()
+                .map(|(mi, &metric)| {
+                    let series: Vec<(f64, f64)> =
+                        cell.rows.iter().map(|(n, ms)| (*n, ms[mi])).collect();
+                    let points = usable(&series, 1.0).len();
+                    let power = fit_power_law(&series);
+                    let polylog = fit_polylog(&series);
+                    let class = classify(power.as_ref(), polylog.as_ref(), points);
+                    MetricFit {
+                        metric,
+                        points,
+                        power,
+                        polylog,
+                        class,
+                    }
+                })
+                .collect();
+            CellFit {
+                algorithm: cell.algorithm,
+                family: cell.family,
+                model: cell.model,
+                sizes: cell.rows.iter().map(|(n, _)| *n).collect(),
+                truncated: cell.truncated,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+fn fit_json(fit: Option<&FitLine>, prefix: &str) -> Vec<(String, Json)> {
+    match fit {
+        Some(f) => vec![
+            (format!("{prefix}exponent"), Json::Num(f.slope)),
+            (format!("{prefix}r2"), Json::Num(f.r2)),
+        ],
+        None => vec![
+            (format!("{prefix}exponent"), Json::Null),
+            (format!("{prefix}r2"), Json::Null),
+        ],
+    }
+}
+
+impl CellFit {
+    /// Serializes the cell fit (stable field order; the baseline gate
+    /// parses this back).
+    pub fn to_json(&self) -> Json {
+        let mut metrics = Json::obj();
+        for m in &self.metrics {
+            let mut obj = Json::obj()
+                .field("points", m.points)
+                .field("class", m.class.as_str());
+            for (k, v) in fit_json(m.power.as_ref(), "") {
+                obj = obj.field(&k, v);
+            }
+            for (k, v) in fit_json(m.polylog.as_ref(), "polylog_") {
+                obj = obj.field(&k, v);
+            }
+            metrics = metrics.field(m.metric, obj);
+        }
+        Json::obj()
+            .field("algorithm", self.algorithm.as_str())
+            .field("family", self.family.as_str())
+            .field("model", self.model.as_str())
+            .field(
+                "sizes",
+                Json::Arr(self.sizes.iter().map(|&n| Json::Num(n)).collect()),
+            )
+            .field("truncated", self.truncated)
+            .field("metrics", metrics)
+    }
+}
+
+/// Serializes a batch of cell fits as the `fits` array.
+pub fn fits_to_json(fits: &[CellFit]) -> Json {
+    Json::Arr(fits.iter().map(CellFit::to_json).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Measurement;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn power_law_recovers_exactly() {
+        // y = 3·n^1.5 — the log-log fit must be exact.
+        let pts: Vec<(f64, f64)> = [16.0f64, 32.0, 64.0, 128.0, 256.0]
+            .iter()
+            .map(|&n| (n, 3.0 * n.powf(1.5)))
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        close(fit.slope, 1.5);
+        close(fit.intercept, 3.0f64.ln());
+        close(fit.r2, 1.0);
+        let class = classify(Some(&fit), fit_polylog(&pts).as_ref(), pts.len());
+        assert_eq!(class, GrowthClass::Polynomial);
+    }
+
+    #[test]
+    fn polylog_recovers_exactly_and_classifies_polylog() {
+        // y = (ln n)^2.
+        let pts: Vec<(f64, f64)> = [16.0f64, 32.0, 64.0, 128.0, 256.0]
+            .iter()
+            .map(|&n| (n, n.ln().powi(2)))
+            .collect();
+        let pl = fit_polylog(&pts).unwrap();
+        close(pl.slope, 2.0);
+        close(pl.r2, 1.0);
+        let pow = fit_power_law(&pts).unwrap();
+        assert!(pow.r2 < 1.0, "log-log of a polylog is concave");
+        assert_eq!(
+            classify(Some(&pow), Some(&pl), pts.len()),
+            GrowthClass::Polylog
+        );
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        let pts: Vec<(f64, f64)> = vec![(16.0, 5.0), (32.0, 5.0), (64.0, 5.0)];
+        let pow = fit_power_law(&pts).unwrap();
+        close(pow.slope, 0.0);
+        close(pow.r2, 1.0);
+        assert_eq!(
+            classify(Some(&pow), fit_polylog(&pts).as_ref(), 3),
+            GrowthClass::Flat
+        );
+    }
+
+    #[test]
+    fn nan_and_zero_points_are_dropped_not_poisonous() {
+        let pts = vec![
+            (16.0, 2.0),
+            (32.0, f64::NAN),
+            (64.0, 0.0),
+            (128.0, 16.0),
+            (256.0, 32.0),
+        ];
+        // Three usable points survive; the fit uses exactly those.
+        let clean = vec![(16.0, 2.0), (128.0, 16.0), (256.0, 32.0)];
+        assert_eq!(fit_power_law(&pts), fit_power_law(&clean));
+        assert_eq!(usable(&pts, 1.0).len(), 3);
+        // All-unusable series fit nothing and classify insufficient.
+        let dead = vec![(16.0, 0.0), (32.0, f64::NAN)];
+        assert!(fit_power_law(&dead).is_none());
+        assert_eq!(classify(None, None, 0), GrowthClass::Insufficient);
+    }
+
+    #[test]
+    fn too_few_points_are_insufficient() {
+        let pts = vec![(16.0, 2.0), (32.0, 4.0)];
+        let pow = fit_power_law(&pts);
+        assert!(pow.is_some(), "two points still define a line");
+        assert_eq!(
+            classify(pow.as_ref(), fit_polylog(&pts).as_ref(), 2),
+            GrowthClass::Insufficient
+        );
+    }
+
+    fn case(algorithm: &str, family: &str, model: &str, n: usize, energy: f64) -> Case {
+        Case::new(
+            vec![
+                ("family", family.into()),
+                ("n", n.into()),
+                ("model", model.into()),
+                ("algorithm", algorithm.into()),
+            ],
+            vec![Measurement {
+                seed: 1000,
+                metrics: vec![
+                    ("energy_max", energy),
+                    ("energy_mean", energy / 2.0),
+                    ("time", n as f64 * 10.0),
+                ],
+            }],
+        )
+    }
+
+    #[test]
+    fn scaling_fits_group_cells_and_sort_sizes() {
+        let mut cases = Vec::new();
+        for &n in &[64usize, 16, 32, 128] {
+            cases.push(case("alg_a", "cycle", "cd", n, (n as f64).powf(2.0)));
+        }
+        cases.push(case("alg_b", "cycle", "cd", 16, 1.0));
+        let fits = scaling_fits(&cases);
+        assert_eq!(fits.len(), 2);
+        let a = &fits[0];
+        assert_eq!(
+            (a.algorithm.as_str(), a.family.as_str(), a.model.as_str()),
+            ("alg_a", "cycle", "cd")
+        );
+        assert_eq!(a.sizes, vec![16.0, 32.0, 64.0, 128.0], "sizes sorted");
+        assert!(!a.truncated);
+        let emax = &a.metrics[0];
+        assert_eq!(emax.metric, "energy_max");
+        assert_eq!(emax.points, 4);
+        close(emax.power.unwrap().slope, 2.0);
+        assert_eq!(emax.class, GrowthClass::Polynomial);
+        let time = a.metrics.iter().find(|m| m.metric == "time").unwrap();
+        close(time.power.unwrap().slope, 1.0);
+        // The single-point cell is insufficient everywhere.
+        let b = &fits[1];
+        assert!(b
+            .metrics
+            .iter()
+            .all(|m| m.class == GrowthClass::Insufficient));
+    }
+
+    #[test]
+    fn truncated_param_marks_the_whole_cell() {
+        let mut c1 = case("alg_a", "path", "local", 16, 4.0);
+        c1.params.push(("truncated", Json::Bool(true)));
+        let c2 = case("alg_a", "path", "local", 32, 8.0);
+        let fits = scaling_fits(&[c1, c2]);
+        assert_eq!(fits.len(), 1);
+        assert!(fits[0].truncated);
+    }
+
+    #[test]
+    fn cell_fit_json_round_trips() {
+        let cases: Vec<Case> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&n| case("alg_a", "cycle", "cd", n, (n as f64).ln().powi(2)))
+            .collect();
+        let fits = scaling_fits(&cases);
+        let doc = fits_to_json(&fits);
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        let cell = &parsed.as_arr().unwrap()[0];
+        assert_eq!(cell.get("truncated"), Some(&Json::Bool(false)));
+        let emax = cell.get("metrics").unwrap().get("energy_max").unwrap();
+        assert_eq!(emax.get("class").unwrap().as_str(), Some("polylog"));
+        assert!(emax.get("exponent").unwrap().as_f64().is_some());
+    }
+}

@@ -1,0 +1,477 @@
+//! Checked-in baselines and the CI regression gate.
+//!
+//! [`baseline_doc`] distills a scenario-matrix run into a compact,
+//! diff-friendly document: per-case summary means of the gate metrics and
+//! per-cell fitted scaling exponents. `--update-baselines` writes it under
+//! `bench-baselines/`; `--check-against <dir>` re-runs the matrix, builds
+//! the same document fresh, and diffs the two with per-metric tolerances —
+//! a nonzero exit on any out-of-tolerance drift gates PRs on both
+//! correctness (absolute energy/time means) *and* asymptotics (fitted
+//! exponents and growth classes).
+//!
+//! Sweeps are deterministic given their seeds, so in CI the diff is
+//! normally exact; the tolerances exist to absorb intentional small
+//! reparameterizations without churning the baselines. Both the gate and
+//! the updater force an unlimited cell budget — wall-clock truncation
+//! would make the case set machine-dependent.
+
+use std::path::{Path, PathBuf};
+
+use crate::analysis::{self, FIT_METRICS};
+use crate::experiments::ExperimentResult;
+use crate::json::Json;
+use crate::measure::Case;
+
+/// Summary metrics the gate diffs case-by-case.
+pub const GATE_METRICS: [&str; 3] = ["energy_mean", "energy_max", "time"];
+
+/// The baseline file name for one experiment (`<name>.json` in the
+/// baseline directory).
+pub fn baseline_path(dir: &Path, experiment: &str) -> PathBuf {
+    dir.join(format!("{experiment}.json"))
+}
+
+/// Per-metric tolerances for [`diff`].
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Maximum relative drift of a per-case summary mean.
+    pub metric_rel: f64,
+    /// Maximum absolute drift of a fitted power-law exponent.
+    pub exponent_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            metric_rel: 0.10,
+            exponent_abs: 0.25,
+        }
+    }
+}
+
+/// What a baseline comparison found.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Out-of-tolerance drifts and coverage losses — any entry here gates.
+    pub regressions: Vec<String>,
+    /// Benign differences (new coverage the baseline predates).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn case_key(case: &Case) -> Option<String> {
+    let get = |key: &str| {
+        case.params
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| match v {
+                Json::Str(s) => s.clone(),
+                Json::Int(i) => i.to_string(),
+                other => format!("{other:?}"),
+            })
+    };
+    Some(format!(
+        "{}/{}/{}/n={}",
+        get("algorithm")?,
+        get("family")?,
+        get("model")?,
+        get("n")?
+    ))
+}
+
+/// Distills `result` into the baseline document the gate stores and diffs.
+pub fn baseline_doc(result: &ExperimentResult) -> Json {
+    let mut cases = Vec::new();
+    for case in &result.cases {
+        let Some(key) = case_key(case) else { continue };
+        let mut obj = Json::obj().field("case", key);
+        for metric in GATE_METRICS {
+            let mean = case.summary.metric(metric).map_or(f64::NAN, |s| s.mean);
+            obj = obj.field(metric, mean);
+        }
+        cases.push(obj);
+    }
+    let fits = analysis::scaling_fits(&result.cases);
+    let mut fit_rows = Vec::new();
+    for cell in &fits {
+        for m in &cell.metrics {
+            if !FIT_METRICS.contains(&m.metric) {
+                continue;
+            }
+            fit_rows.push(
+                Json::obj()
+                    .field(
+                        "cell",
+                        format!("{}/{}/{}", cell.algorithm, cell.family, cell.model),
+                    )
+                    .field("metric", m.metric)
+                    .field("points", m.points)
+                    .field("class", m.class.as_str())
+                    .field(
+                        "exponent",
+                        m.power.map_or(Json::Null, |f| Json::Num(f.slope)),
+                    ),
+            );
+        }
+    }
+    Json::obj()
+        .field("schema_version", crate::experiments::SCHEMA_VERSION)
+        .field("experiment", result.spec.name)
+        .field(
+            "config",
+            Json::obj()
+                .field("quick", result.config.quick)
+                .field("seeds", result.config.seeds.map_or(Json::Null, Json::from)),
+        )
+        .field("cases", Json::Arr(cases))
+        .field("fits", Json::Arr(fit_rows))
+}
+
+fn rows_by_key<'a>(doc: &'a Json, section: &str, key: &str) -> Vec<(&'a str, &'a Json)> {
+    doc.get(section)
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.get(key).and_then(Json::as_str).map(|k| (k, r)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn rel_drift(base: f64, fresh: f64) -> f64 {
+    if base == fresh {
+        return 0.0; // covers 0 == 0 and exact reproduction
+    }
+    (fresh - base).abs() / base.abs().max(1e-12)
+}
+
+/// Diffs a fresh baseline document against the checked-in one.
+pub fn diff(baseline: &Json, fresh: &Json, tol: &Tolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    for field in ["experiment", "config"] {
+        let (b, f) = (baseline.get(field), fresh.get(field));
+        if b != f {
+            report.regressions.push(format!(
+                "{field} mismatch: baseline {b:?} vs fresh {f:?} — \
+                 compare like with like (same --quick/--seeds), or refresh \
+                 with --update-baselines"
+            ));
+        }
+    }
+
+    let fresh_cases: std::collections::HashMap<&str, &Json> =
+        rows_by_key(fresh, "cases", "case").into_iter().collect();
+    for (key, base_row) in rows_by_key(baseline, "cases", "case") {
+        let Some(fresh_row) = fresh_cases.get(key) else {
+            report
+                .regressions
+                .push(format!("case {key}: present in baseline, missing fresh"));
+            continue;
+        };
+        for metric in GATE_METRICS {
+            let b = base_row.get(metric).and_then(Json::as_f64);
+            let f = fresh_row.get(metric).and_then(Json::as_f64);
+            match (b, f) {
+                (Some(b), Some(f)) => {
+                    let drift = rel_drift(b, f);
+                    if drift > tol.metric_rel {
+                        report.regressions.push(format!(
+                            "case {key}: {metric} drifted {:+.1}% (baseline {b}, fresh {f}, \
+                             tolerance ±{:.0}%)",
+                            100.0 * (f - b) / b.abs().max(1e-12),
+                            100.0 * tol.metric_rel,
+                        ));
+                    }
+                }
+                _ => report.regressions.push(format!(
+                    "case {key}: {metric} not comparable (baseline {b:?}, fresh {f:?})"
+                )),
+            }
+        }
+    }
+    let baseline_keys: std::collections::HashSet<&str> = rows_by_key(baseline, "cases", "case")
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    for (key, _) in rows_by_key(fresh, "cases", "case") {
+        if !baseline_keys.contains(key) {
+            report.notes.push(format!(
+                "case {key}: new (not in baseline — refresh to gate it)"
+            ));
+        }
+    }
+
+    let fit_key = |row: &Json| -> Option<String> {
+        Some(format!(
+            "{} [{}]",
+            row.get("cell")?.as_str()?,
+            row.get("metric")?.as_str()?
+        ))
+    };
+    let fresh_fits: std::collections::HashMap<String, &Json> = fresh
+        .get("fits")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| fit_key(r).map(|k| (k, r)))
+                .collect()
+        })
+        .unwrap_or_default();
+    for row in baseline.get("fits").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(key) = fit_key(row) else { continue };
+        let Some(fresh_row) = fresh_fits.get(&key) else {
+            report
+                .regressions
+                .push(format!("fit {key}: present in baseline, missing fresh"));
+            continue;
+        };
+        let b_class = row.get("class").and_then(Json::as_str);
+        let f_class = fresh_row.get("class").and_then(Json::as_str);
+        if b_class != f_class {
+            report.regressions.push(format!(
+                "fit {key}: growth class changed {} → {}",
+                b_class.unwrap_or("?"),
+                f_class.unwrap_or("?")
+            ));
+        }
+        let b_points = row.get("points").and_then(Json::as_f64);
+        let f_points = fresh_row.get("points").and_then(Json::as_f64);
+        if b_points != f_points {
+            report.regressions.push(format!(
+                "fit {key}: n-point coverage changed {b_points:?} → {f_points:?}"
+            ));
+        }
+        match (
+            row.get("exponent").and_then(Json::as_f64),
+            fresh_row.get("exponent").and_then(Json::as_f64),
+        ) {
+            (Some(b), Some(f)) => {
+                if (f - b).abs() > tol.exponent_abs {
+                    report.regressions.push(format!(
+                        "fit {key}: exponent drifted {b:.3} → {f:.3} \
+                         (tolerance ±{:.2})",
+                        tol.exponent_abs
+                    ));
+                }
+            }
+            (None, None) => {}
+            (b, f) => report.regressions.push(format!(
+                "fit {key}: exponent not comparable (baseline {b:?}, fresh {f:?})"
+            )),
+        }
+    }
+    // The symmetric half: fit rows only the fresh run has are ungated
+    // exponent coverage — surface them like new cases.
+    let baseline_fit_keys: std::collections::HashSet<String> = baseline
+        .get("fits")
+        .and_then(Json::as_arr)
+        .map(|rows| rows.iter().filter_map(&fit_key).collect())
+        .unwrap_or_default();
+    for key in fresh_fits.keys() {
+        if !baseline_fit_keys.contains(key) {
+            report.notes.push(format!(
+                "fit {key}: new (not in baseline — refresh to gate it)"
+            ));
+        }
+    }
+    report
+}
+
+/// Writes `result`'s baseline document under `dir`. Returns the path.
+pub fn write_baseline(dir: &Path, result: &ExperimentResult) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = baseline_path(dir, result.spec.name);
+    std::fs::write(&path, baseline_doc(result).to_string_pretty())?;
+    Ok(path)
+}
+
+/// Diffs `result` against the baseline checked in under `dir`.
+pub fn check_against(
+    dir: &Path,
+    result: &ExperimentResult,
+    tol: &Tolerances,
+) -> Result<DiffReport, String> {
+    let path = baseline_path(dir, result.spec.name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline =
+        Json::parse(&text).map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))?;
+    Ok(diff(&baseline, &baseline_doc(result), tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{find_experiment, run_experiment};
+    use crate::measure::{RunConfig, UNLIMITED_BUDGET_MS};
+
+    fn gate_config() -> RunConfig {
+        RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(UNLIMITED_BUDGET_MS),
+            family: Some("cycle".into()),
+            model: Some("local".into()),
+            ..RunConfig::default()
+        }
+    }
+
+    /// The shared gate-config matrix run: deterministic by design, so
+    /// the six tests here share one sweep instead of re-simulating it.
+    fn matrix_result() -> &'static ExperimentResult {
+        static RESULT: std::sync::OnceLock<ExperimentResult> = std::sync::OnceLock::new();
+        RESULT.get_or_init(|| {
+            run_experiment(find_experiment("scenario_matrix").unwrap(), &gate_config())
+        })
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let result = matrix_result();
+        let doc = baseline_doc(result);
+        // Byte-stable: document ↔ parse round trip.
+        assert_eq!(Json::parse(&doc.to_string_pretty()).unwrap(), doc);
+        let report = diff(&doc, &baseline_doc(result), &Tolerances::default());
+        assert!(report.passed(), "regressions: {:?}", report.regressions);
+        assert!(report.notes.is_empty(), "notes: {:?}", report.notes);
+    }
+
+    #[test]
+    fn planted_energy_regression_fails_the_gate() {
+        let result = matrix_result();
+        let baseline = baseline_doc(result);
+        // Plant: halve the baseline's recorded energy means (as if the
+        // fresh run's energy doubled).
+        let planted = plant(&baseline, |row| {
+            if let Json::Obj(pairs) = row {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "energy_mean" {
+                        if let Some(x) = v.as_f64() {
+                            *v = Json::Num(x / 2.0);
+                        }
+                    }
+                }
+            }
+        });
+        let report = diff(&planted, &baseline_doc(result), &Tolerances::default());
+        assert!(!report.passed());
+        assert!(
+            report.regressions.iter().any(|r| r.contains("energy_mean")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn planted_exponent_regression_fails_the_gate() {
+        let result = matrix_result();
+        let baseline = baseline_doc(result);
+        let planted = plant_fits(&baseline, |row| {
+            if let Json::Obj(pairs) = row {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "exponent" {
+                        if let Some(x) = v.as_f64() {
+                            *v = Json::Num(x + 1.0);
+                        }
+                    }
+                }
+            }
+        });
+        let report = diff(&planted, &baseline_doc(result), &Tolerances::default());
+        assert!(!report.passed());
+        assert!(
+            report.regressions.iter().any(|r| r.contains("exponent")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn missing_and_new_cases_are_detected() {
+        let result = matrix_result();
+        let baseline = baseline_doc(result);
+        // Drop one fresh case → "missing fresh" regression; drop one
+        // baseline case → "new" note.
+        let drop_first = |doc: &Json| -> Json {
+            let mut doc = doc.clone();
+            if let Json::Obj(pairs) = &mut doc {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "cases" {
+                        if let Json::Arr(rows) = v {
+                            rows.remove(0);
+                        }
+                    }
+                }
+            }
+            doc
+        };
+        let report = diff(&baseline, &drop_first(&baseline), &Tolerances::default());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("missing fresh")));
+        let report = diff(&drop_first(&baseline), &baseline, &Tolerances::default());
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.notes.iter().any(|n| n.contains("new")));
+    }
+
+    #[test]
+    fn config_mismatch_is_a_regression() {
+        let result = matrix_result();
+        let baseline = baseline_doc(result);
+        let mut other = gate_config();
+        other.seeds = Some(2);
+        let fresh = baseline_doc(&run_experiment(
+            find_experiment("scenario_matrix").unwrap(),
+            &other,
+        ));
+        let report = diff(&baseline, &fresh, &Tolerances::default());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("config mismatch")));
+    }
+
+    #[test]
+    fn write_and_check_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("ebc_bench_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let result = matrix_result();
+        let path = write_baseline(&dir, result).unwrap();
+        assert!(path.ends_with("scenario_matrix.json"));
+        let report = check_against(&dir, result, &Tolerances::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        std::fs::remove_file(&path).ok();
+        assert!(check_against(&dir, result, &Tolerances::default()).is_err());
+    }
+
+    fn plant(doc: &Json, mutate: impl Fn(&mut Json)) -> Json {
+        plant_section(doc, "cases", mutate)
+    }
+
+    fn plant_fits(doc: &Json, mutate: impl Fn(&mut Json)) -> Json {
+        plant_section(doc, "fits", mutate)
+    }
+
+    fn plant_section(doc: &Json, section: &str, mutate: impl Fn(&mut Json)) -> Json {
+        let mut doc = doc.clone();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == section {
+                    if let Json::Arr(rows) = v {
+                        for row in rows.iter_mut() {
+                            mutate(row);
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+}

@@ -153,7 +153,7 @@ fn run_table1_randomized(config: &RunConfig) -> ExperimentOutput {
             ("theorem12", Model::Cd, 2),
         ];
         for &(algorithm, model, full_seeds) in variants {
-            let seeds = config.seeds_for(full_seeds);
+            let seeds = config.seeds_for_size(full_seeds, n, 64);
             let measurements = sweep_broadcast(&g, model, seeds, |s| match algorithm {
                 "theorem11" => broadcast_theorem11(s, 0, &t11).all_informed(),
                 _ => broadcast_theorem12(s, 0, &t12).all_informed(),
@@ -182,7 +182,7 @@ fn run_table1_dtime(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &side in sizes(config, &[8, 12, 16, 22], &[8, 12]) {
         let g = Arc::new(grid(side, side));
-        let seeds = config.seeds_for(2);
+        let seeds = config.seeds_for_size(2, side * side, 64);
         for (algorithm, m16) in [("theorem16", true), ("theorem11", false)] {
             let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
                 if m16 {
@@ -212,7 +212,7 @@ fn run_table1_bounded(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &n in sizes(config, &[64, 128, 256, 512], &[64, 128]) {
         let g = Arc::new(cycle(n));
-        let seeds = config.seeds_for(2);
+        let seeds = config.seeds_for_size(2, n, 64);
         for (algorithm, cor13) in [("corollary13", true), ("theorem11", false)] {
             let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
                 if cor13 {
@@ -240,7 +240,7 @@ fn run_table1_bounded(config: &RunConfig) -> ExperimentOutput {
 fn run_table1_lower(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &k in sizes(config, &[8, 32, 128, 512], &[8, 32]) {
-        let le_seeds = config.seeds_for(10);
+        let le_seeds = config.seeds_for_size(10, k, 8);
         for (protocol, model) in [("decay", Model::NoCd), ("uniform", Model::Cd)] {
             let measurements = sweep_seeds(le_seeds, |seed| {
                 let (r, _) = match protocol {
@@ -266,7 +266,7 @@ fn run_table1_lower(config: &RunConfig) -> ExperimentOutput {
         // Broadcast energy on the gadget itself (Theorem 11, CD): always
         // far above the reduction-derived bound.
         let g = Arc::new(k2k(k));
-        let measurements = sweep_broadcast(&g, Model::Cd, config.seeds_for(2), |s| {
+        let measurements = sweep_broadcast(&g, Model::Cd, config.seeds_for_size(2, k, 8), |s| {
             broadcast_theorem11(s, 0, &Theorem11Config::default()).all_informed()
         });
         cases.push(Case::new(
@@ -293,7 +293,7 @@ fn run_table1_cdfast(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &n in sizes(config, &[32, 64, 128], &[32, 64]) {
         let g = Arc::new(cycle(n));
-        let seeds = config.seeds_for(2);
+        let seeds = config.seeds_for_size(2, n, 32);
         for (algorithm, is20) in [("theorem20", true), ("theorem11", false)] {
             let measurements = sweep_broadcast(&g, Model::Cd, seeds, |s| {
                 if is20 {
@@ -350,7 +350,7 @@ fn run_fig1_path(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &exp in sizes(config, &[8, 10, 12, 14], &[8, 10]) {
         let n = 1usize << exp;
-        let seeds = config.seeds_for(5);
+        let seeds = config.seeds_for_size(5, n, 1 << 8);
         let cfg = PathConfig {
             oriented: true,
             cap_blocking: true,
@@ -385,7 +385,7 @@ fn run_ablation(config: &RunConfig) -> ExperimentOutput {
     for &delta in sizes(config, &[8, 64, 512], &[8, 64]) {
         let g = Arc::new(star(delta));
         let senders: Vec<(usize, u32)> = (1..=delta).map(|v| (v, v as u32)).collect();
-        let seeds = config.seeds_for(10);
+        let seeds = config.seeds_for_size(10, delta, 8);
         for primitive in ["decay", "cd_transform"] {
             let measurements = sweep_seeds(seeds, |seed| {
                 let (model, sr, stream) = if primitive == "decay" {
@@ -464,7 +464,7 @@ fn run_baseline_gap(config: &RunConfig) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &n in sizes(config, &[128, 256, 512, 1024], &[128, 256]) {
         let g = Arc::new(cycle(n));
-        let seeds = config.seeds_for(2);
+        let seeds = config.seeds_for_size(2, n, 128);
         for (algorithm, is11) in [("theorem11", true), ("bgi_decay", false)] {
             let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
                 if is11 {

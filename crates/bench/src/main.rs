@@ -4,22 +4,41 @@
 //! cargo run --release -p ebc-bench -- --list
 //! cargo run --release -p ebc-bench -- --experiment table1_randomized --quick
 //! cargo run --release -p ebc-bench -- --seeds 10 --out-dir results/
+//! cargo run --release -p ebc-bench -- --update-baselines
+//! cargo run --release -p ebc-bench -- --quick --check-against bench-baselines
 //! ```
 //!
 //! With no `--experiment` every registered experiment runs. Each run
 //! prints an aligned table and writes a schema-stable
-//! `BENCH_<experiment>.json` to the output directory.
+//! `BENCH_<experiment>.json` to the output directory (the scenario matrix
+//! additionally writes `BENCH_scaling_fits.json`).
+//!
+//! `--check-against <dir>` turns the run into a regression gate: the
+//! scenario matrix is re-run and its summary means and fitted scaling
+//! exponents are diffed against the checked-in baselines under `<dir>`,
+//! exiting nonzero on any out-of-tolerance drift. `--update-baselines`
+//! refreshes `bench-baselines/` in one step. Both force an unlimited
+//! per-cell budget so the gated case set never depends on machine speed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ebc_bench::{find_experiment, ExperimentSpec, RunConfig, EXPERIMENTS};
+use ebc_bench::baseline::{self, Tolerances};
+use ebc_bench::measure::UNLIMITED_BUDGET_MS;
+use ebc_bench::{
+    find_experiment, report_and_write, run_experiment, ExperimentSpec, RunConfig, EXPERIMENTS,
+};
+
+/// Where `--update-baselines` writes (and CI reads) the checked-in gate.
+const BASELINE_DIR: &str = "bench-baselines";
 
 struct Args {
     list: bool,
     experiments: Vec<String>,
     config: RunConfig,
     out_dir: PathBuf,
+    check_against: Option<PathBuf>,
+    update_baselines: bool,
 }
 
 const USAGE: &str = "\
@@ -37,6 +56,14 @@ Options:
                          (local, cd, cd-star, no-cd)
   --algo <NAME>          Scenario matrix: only this algorithm
                          (e.g. theorem11, bgi_decay, path_theorem21)
+  --budget-ms <N>        Scenario matrix: wall-clock budget per (algorithm,
+                         family, model) cell before its n-sweep truncates
+                         (0 = first size only; default 250 quick / 2000 full)
+  --check-against <DIR>  Regression gate: run the scenario matrix and diff
+                         summary means + scaling exponents against the
+                         baselines in <DIR>; exit nonzero on drift
+  --update-baselines     Rewrite bench-baselines/ from a fresh quick
+                         scenario-matrix run, then exit
   --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
   --threads <N>          Worker threads for seed sweeps (default: all cores)
   -h, --help             Show this help
@@ -48,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         experiments: Vec::new(),
         config: RunConfig::default(),
         out_dir: PathBuf::from("."),
+        check_against: None,
+        update_baselines: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -69,6 +98,17 @@ fn parse_args() -> Result<Args, String> {
             "--family" => args.config.family = Some(value("--family")?),
             "--model" => args.config.model = Some(value("--model")?),
             "--algo" => args.config.algo = Some(value("--algo")?),
+            "--budget-ms" => {
+                let v = value("--budget-ms")?;
+                args.config.budget_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --budget-ms {v:?}"))?,
+                );
+            }
+            "--check-against" => {
+                args.check_against = Some(PathBuf::from(value("--check-against")?))
+            }
+            "--update-baselines" => args.update_baselines = true,
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
             "--threads" => {
                 let v = value("--threads")?;
@@ -88,6 +128,15 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Runs the scenario matrix with an unlimited budget (gate runs must not
+/// depend on machine speed) and returns the result.
+fn gated_matrix_run(config: &RunConfig) -> ebc_bench::ExperimentResult {
+    let mut config = config.clone();
+    config.budget_ms = Some(UNLIMITED_BUDGET_MS);
+    let spec = find_experiment("scenario_matrix").expect("registered");
+    run_experiment(spec, &config)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -103,6 +152,38 @@ fn main() -> ExitCode {
             println!("{:<20} {}", spec.name, spec.title);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if args.update_baselines {
+        // A filtered refresh would overwrite the full baseline with a
+        // slice, silently un-gating every other cell — refuse instead.
+        if args.config.family.is_some() || args.config.model.is_some() || args.config.algo.is_some()
+        {
+            eprintln!(
+                "error: --update-baselines refreshes the full gate; \
+                 drop --family/--model/--algo"
+            );
+            return ExitCode::FAILURE;
+        }
+        // Baselines gate the CI quick matrix, so the refresh pins quick
+        // mode regardless of the other flags.
+        let mut config = args.config.clone();
+        config.quick = true;
+        let result = gated_matrix_run(&config);
+        return match baseline::write_baseline(std::path::Path::new(BASELINE_DIR), &result) {
+            Ok(path) => {
+                println!(
+                    "wrote {} ({} cases) — commit it to refresh the gate",
+                    path.display(),
+                    result.cases.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: writing baselines: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let selected: Vec<&'static ExperimentSpec> = if args.experiments.is_empty() {
@@ -126,13 +207,65 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The gate re-runs the matrix itself (with the budget pinned), so a
+    // bare `--check-against` needs no --experiment selection.
+    let mut gate_result = None;
     for spec in selected {
-        match ebc_bench::run_to_files(spec, &args.config, &args.out_dir) {
-            Ok(path) => println!("wrote {}", path.display()),
+        let run_for_gate = args.check_against.is_some() && spec.name == "scenario_matrix";
+        let started = std::time::Instant::now();
+        let result = if run_for_gate {
+            gated_matrix_run(&args.config)
+        } else {
+            run_experiment(spec, &args.config)
+        };
+        match report_and_write(&result, started.elapsed(), &args.out_dir) {
+            Ok(paths) => {
+                for path in paths {
+                    println!("wrote {}", path.display());
+                }
+            }
             Err(e) => {
                 eprintln!("error: writing results for {}: {e}", spec.name);
                 return ExitCode::FAILURE;
             }
+        }
+        if run_for_gate {
+            gate_result = Some(result);
+        }
+    }
+
+    if let Some(dir) = &args.check_against {
+        let result = match gate_result {
+            Some(r) => r,
+            None => gated_matrix_run(&args.config),
+        };
+        let report = match baseline::check_against(dir, &result, &Tolerances::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for note in &report.notes {
+            println!("note: {note}");
+        }
+        if report.passed() {
+            println!(
+                "baseline gate PASSED against {} ({} cases checked)",
+                dir.display(),
+                result.cases.len()
+            );
+        } else {
+            eprintln!("baseline gate FAILED against {}:", dir.display());
+            for r in &report.regressions {
+                eprintln!("  regression: {r}");
+            }
+            eprintln!(
+                "  ({} regressions; if intentional, refresh with \
+                 `cargo run -p ebc-bench -- --update-baselines` and commit)",
+                report.regressions.len()
+            );
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -29,6 +29,11 @@ pub struct RunConfig {
     pub model: Option<String>,
     /// Scenario-matrix axis filter: only this algorithm (registry name).
     pub algo: Option<String>,
+    /// Per-cell wall-clock budget in milliseconds for the scenario
+    /// matrix's n-sweeps; `None` uses the mode's default
+    /// ([`RunConfig::cell_budget`]). `Some(0)` truncates every cell after
+    /// its first size — the deterministic floor.
+    pub budget_ms: Option<u64>,
 }
 
 impl RunConfig {
@@ -42,7 +47,49 @@ impl RunConfig {
             base.max(1)
         }
     }
+
+    /// The seed count for the size-`n` point of a sweep whose smallest
+    /// size is `n_base` and whose full-mode default is `full` seeds.
+    ///
+    /// In quick mode (with no explicit `--seeds` override) the count
+    /// halves for every doubling of `n` past `n_base`, to a floor of one —
+    /// without this the largest sizes dominate a quick sweep's wall-clock,
+    /// since per-run cost itself grows with `n`. Full mode and pinned seed
+    /// counts are unaffected.
+    pub fn seeds_for_size(&self, full: u64, n: usize, n_base: usize) -> u64 {
+        let mut seeds = self.seeds_for(full);
+        if !self.quick || self.seeds.is_some() {
+            return seeds;
+        }
+        let mut scale = n_base.max(1);
+        while scale.saturating_mul(2) <= n && seeds > 1 {
+            seeds /= 2;
+            scale *= 2;
+        }
+        seeds.max(1)
+    }
+
+    /// The wall-clock budget one scenario-matrix cell (one `(algorithm,
+    /// family, model)` combination's whole n-sweep) may spend before its
+    /// remaining sizes are truncated. The first size always runs.
+    pub fn cell_budget(&self) -> std::time::Duration {
+        let ms = self.budget_ms.unwrap_or(if self.quick {
+            DEFAULT_QUICK_BUDGET_MS
+        } else {
+            DEFAULT_FULL_BUDGET_MS
+        });
+        std::time::Duration::from_millis(ms)
+    }
 }
+
+/// Default per-cell budget in quick (CI smoke) mode.
+pub const DEFAULT_QUICK_BUDGET_MS: u64 = 250;
+/// Default per-cell budget in full mode.
+pub const DEFAULT_FULL_BUDGET_MS: u64 = 2_000;
+/// A budget large enough to never truncate — used by the baseline gate,
+/// where wall-clock-dependent truncation would make the case set
+/// machine-dependent.
+pub const UNLIMITED_BUDGET_MS: u64 = u64::MAX / 1_000_000;
 
 /// One simulated run: a master seed and the metrics it produced.
 #[derive(Debug, Clone)]
@@ -327,6 +374,52 @@ mod tests {
         assert_eq!(summary.metric("t").unwrap().min, 1000.0);
         assert_eq!(summary.metric("t").unwrap().max, 1003.0);
         assert!(summary.metric("missing").is_none());
+    }
+
+    #[test]
+    fn quick_seeds_scale_down_with_n() {
+        let quick = RunConfig {
+            quick: true,
+            ..RunConfig::default()
+        };
+        // Base 8 seeds at the smallest size (quick halves 16 → 8), then a
+        // halving per doubling of n.
+        assert_eq!(quick.seeds_for_size(16, 64, 64), 8);
+        assert_eq!(quick.seeds_for_size(16, 128, 64), 4);
+        assert_eq!(quick.seeds_for_size(16, 256, 64), 2);
+        assert_eq!(quick.seeds_for_size(16, 512, 64), 1);
+        assert_eq!(quick.seeds_for_size(16, 4096, 64), 1, "floor of one");
+        // Full mode never scales.
+        let full = RunConfig::default();
+        assert_eq!(full.seeds_for_size(16, 4096, 64), 16);
+        // An explicit --seeds pin is respected exactly at every size.
+        let pinned = RunConfig {
+            seeds: Some(6),
+            quick: true,
+            ..RunConfig::default()
+        };
+        assert_eq!(pinned.seeds_for_size(16, 512, 64), 6);
+    }
+
+    #[test]
+    fn cell_budgets_default_per_mode_and_honor_overrides() {
+        let quick = RunConfig {
+            quick: true,
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            quick.cell_budget(),
+            std::time::Duration::from_millis(DEFAULT_QUICK_BUDGET_MS)
+        );
+        assert_eq!(
+            RunConfig::default().cell_budget(),
+            std::time::Duration::from_millis(DEFAULT_FULL_BUDGET_MS)
+        );
+        let pinned = RunConfig {
+            budget_ms: Some(0),
+            ..RunConfig::default()
+        };
+        assert_eq!(pinned.cell_budget(), std::time::Duration::ZERO);
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub fn render(result: &ExperimentResult) -> String {
     // Experiment-specific top-level fields (e.g. the scenario matrix's
     // skip accounting) — scalars and flat objects, one line each.
     for (key, value) in &result.extra {
+        if *key == "fits" {
+            out.push_str(&render_fits_summary(value));
+            continue;
+        }
         match value {
             Json::Obj(pairs)
                 if pairs
@@ -106,6 +110,39 @@ pub fn render(result: &ExperimentResult) -> String {
         }
     }
     out
+}
+
+/// One line summarizing the scaling fits: how the cells' `energy_max`
+/// growth classifies, plus the truncation count.
+fn render_fits_summary(fits: &Json) -> String {
+    let Some(cells) = fits.as_arr() else {
+        return String::new();
+    };
+    let mut by_class: Vec<(String, usize)> = Vec::new();
+    let mut truncated = 0usize;
+    for cell in cells {
+        if cell.get("truncated") == Some(&Json::Bool(true)) {
+            truncated += 1;
+        }
+        let class = cell
+            .get("metrics")
+            .and_then(|m| m.get("energy_max"))
+            .and_then(|m| m.get("class"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        match by_class.iter_mut().find(|(c, _)| *c == class) {
+            Some((_, n)) => *n += 1,
+            None => by_class.push((class, 1)),
+        }
+    }
+    let breakdown: Vec<String> = by_class.iter().map(|(c, n)| format!("{n} {c}")).collect();
+    format!(
+        "fits: {} cells (energy_max: {}; {} truncated by budget)\n",
+        cells.len(),
+        breakdown.join(", "),
+        truncated
+    )
 }
 
 fn render_param(v: &Json) -> String {

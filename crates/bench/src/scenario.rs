@@ -9,34 +9,47 @@
 //! incompatible pairs (a CD-only algorithm under No-CD, the §8 path
 //! algorithm off the path) instead of dropping them silently.
 //!
+//! Each `(algorithm, family, model)` *cell* sweeps the n axis under a
+//! wall-clock budget ([`RunConfig::cell_budget`]): the first size always
+//! runs, and once a cell's sweeps have spent the budget its remaining
+//! sizes are dropped — tallied under `skip_counts.skipped_budget`, with
+//! every case of the cut-short cell carrying a `truncated: true` param so
+//! downstream fits know the axis is incomplete. Scaling fits across each
+//! cell's n axis ([`crate::analysis`]) are emitted as a top-level `fits`
+//! section.
+//!
 //! The emitted `BENCH_scenario_matrix.json` carries the skip accounting as
 //! top-level fields (`skip_counts`, `skipped_pairs`) next to the usual
 //! per-case sweeps, and the `--family`/`--model`/`--algo` CLI flags narrow
 //! the axes.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ebc_core::suite::{BroadcastAlgorithm, ALGORITHMS, MESSAGING_MODELS};
 use ebc_graphs::families::Family;
-use ebc_radio::{Model, Sim};
+use ebc_radio::{Graph, Model, Sim};
 
+use crate::analysis;
 use crate::experiments::{model_name, ExperimentOutput};
 use crate::json::Json;
 use crate::measure::{standard_metrics, sweep_seeds, Case, RunConfig};
 
-/// The matrix sizes: one small point in quick (CI smoke) mode, two in full
-/// mode. Algorithms whose time is super-linear in `n` (Theorem 20, the
-/// deterministic CD row) keep the full matrix tractable at these sizes.
+/// The matrix sizes: four n-points in quick (CI smoke) mode — the minimum
+/// for a meaningful scaling fit — five in full mode. Cells whose per-size
+/// cost outgrows the wall-clock budget truncate instead of pinning the
+/// whole sweep, so the top sizes no longer need to fit every algorithm.
 fn matrix_sizes(config: &RunConfig) -> &'static [usize] {
     if config.quick {
-        &[16]
+        &[16, 32, 64, 128]
     } else {
-        &[32, 64]
+        &[16, 32, 64, 128, 256]
     }
 }
 
-/// One skipped `(algorithm, model)` or `(algorithm, family)` pair and how
-/// often the cross-product hit it.
+/// One skipped `(algorithm, model)`, `(algorithm, family)`, or budget-cut
+/// combination and how often the cross-product hit it.
 struct Skip {
     kind: &'static str,
     algorithm: &'static str,
@@ -66,55 +79,45 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
         .copied()
         .filter(|a| matches(&config.algo, a.name()))
         .collect();
+    let sizes = matrix_sizes(config);
+    let budget = config.cell_budget();
 
     let mut cases = Vec::new();
     let mut skips: Vec<Skip> = Vec::new();
     let mut combinations = 0usize;
+    let mut truncated_cells = 0usize;
     for &family in &families {
-        for &n in matrix_sizes(config) {
-            // One graph per (family, n); every model, algorithm, and seed
-            // shares the same CSR allocation.
-            let inst = family.instance(n, 0xebc0 + n as u64);
-            let graph = Arc::new(inst.graph);
-            for &model in &models {
-                for &alg in &algorithms {
-                    combinations += 1;
-                    if !alg.supports_model(model) {
-                        tally(&mut skips, "model", alg.name(), model_name(model));
-                        continue;
-                    }
-                    if !alg.supports_graph(&graph) {
-                        tally(&mut skips, "graph", alg.name(), family.name());
-                        continue;
-                    }
-                    let seeds = config.seeds_for(2);
-                    let measurements = sweep_seeds(seeds, |seed| {
-                        let mut sim = Sim::new(Arc::clone(&graph), model, seed);
-                        let out = alg.run(&mut sim, 0);
-                        let mut metrics = vec![
-                            ("all_informed", f64::from(u8::from(out.all_informed()))),
-                            ("informed_frac", out.count() as f64 / sim.graph().n() as f64),
-                        ];
-                        metrics.extend(standard_metrics(&sim.meter().report()));
-                        metrics
-                    });
-                    cases.push(Case::new(
-                        vec![
-                            ("family", family.name().into()),
-                            ("n", graph.n().into()),
-                            ("m", graph.m().into()),
-                            ("delta", graph.max_degree().into()),
-                            ("model", model_name(model).into()),
-                            ("algorithm", alg.name().into()),
-                        ],
-                        measurements,
-                    ));
-                }
+        // One graph per (family, n), built on first use; every model,
+        // algorithm, and seed shares the same CSR allocation.
+        let mut graphs: BTreeMap<usize, Arc<Graph>> = BTreeMap::new();
+        for &model in &models {
+            for &alg in &algorithms {
+                let truncated = run_cell(
+                    config,
+                    family,
+                    model,
+                    alg,
+                    sizes,
+                    budget,
+                    &mut graphs,
+                    &mut cases,
+                    &mut skips,
+                    &mut combinations,
+                );
+                truncated_cells += usize::from(truncated);
             }
         }
     }
 
-    let skipped: usize = skips.iter().map(|s| s.count).sum();
+    let fits = analysis::scaling_fits(&cases);
+    let count = |kind: &str| -> usize {
+        skips
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.count)
+            .sum()
+    };
+    let skipped_incompatible = count("model") + count("graph");
     let extra = vec![
         (
             "axes",
@@ -133,7 +136,7 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                 )
                 .field(
                     "sizes",
-                    Json::Arr(matrix_sizes(config).iter().map(|&n| n.into()).collect()),
+                    Json::Arr(sizes.iter().map(|&n| n.into()).collect()),
                 ),
         ),
         (
@@ -141,23 +144,12 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
             Json::obj()
                 .field("total_combinations", combinations)
                 .field("run", cases.len())
-                .field("skipped_incompatible", skipped)
-                .field(
-                    "skipped_incompatible_model",
-                    skips
-                        .iter()
-                        .filter(|s| s.kind == "model")
-                        .map(|s| s.count)
-                        .sum::<usize>(),
-                )
-                .field(
-                    "skipped_incompatible_graph",
-                    skips
-                        .iter()
-                        .filter(|s| s.kind == "graph")
-                        .map(|s| s.count)
-                        .sum::<usize>(),
-                ),
+                .field("skipped_incompatible", skipped_incompatible)
+                .field("skipped_incompatible_model", count("model"))
+                .field("skipped_incompatible_graph", count("graph"))
+                .field("skipped_budget", count("budget"))
+                .field("truncated_cells", truncated_cells)
+                .field("budget_ms_per_cell", budget.as_millis() as u64),
         ),
         (
             "skipped_pairs",
@@ -169,7 +161,11 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                             .field("kind", s.kind)
                             .field("algorithm", s.algorithm)
                             .field(
-                                if s.kind == "model" { "model" } else { "family" },
+                                match s.kind {
+                                    "model" => "model",
+                                    "graph" => "family",
+                                    _ => "cell",
+                                },
                                 s.axis.as_str(),
                             )
                             .field("count", s.count)
@@ -177,8 +173,97 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                     .collect(),
             ),
         ),
+        ("fits", analysis::fits_to_json(&fits)),
     ];
     ExperimentOutput { cases, extra }
+}
+
+/// Sweeps one `(family, model, algorithm)` cell's n axis under the
+/// wall-clock budget. Returns whether the cell was truncated.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    config: &RunConfig,
+    family: Family,
+    model: Model,
+    alg: &'static dyn BroadcastAlgorithm,
+    sizes: &[usize],
+    budget: Duration,
+    graphs: &mut BTreeMap<usize, Arc<Graph>>,
+    cases: &mut Vec<Case>,
+    skips: &mut Vec<Skip>,
+    combinations: &mut usize,
+) -> bool {
+    let mut spent = Duration::ZERO;
+    let mut truncated = false;
+    let mut cell_cases: Vec<Case> = Vec::new();
+    for &n in sizes {
+        *combinations += 1;
+        if !alg.supports_model(model) {
+            tally(skips, "model", alg.name(), model_name(model));
+            continue;
+        }
+        let graph = graphs
+            .entry(n)
+            .or_insert_with(|| Arc::new(family.instance(n, 0xebc0 + n as u64).graph));
+        if !alg.supports_graph(graph) {
+            tally(skips, "graph", alg.name(), family.name());
+            continue;
+        }
+        if truncated {
+            tally(
+                skips,
+                "budget",
+                alg.name(),
+                format!("{}/{}", family.name(), model_name(model)),
+            );
+            continue;
+        }
+        let graph = Arc::clone(graph);
+        let seeds = config.seeds_for_size(2, n, sizes[0]);
+        let started = Instant::now();
+        let measurements = sweep_seeds(seeds, |seed| {
+            let mut sim = Sim::new(Arc::clone(&graph), model, seed);
+            let out = alg.run(&mut sim, 0);
+            let mut metrics = vec![
+                ("all_informed", f64::from(u8::from(out.all_informed()))),
+                ("informed_frac", out.count() as f64 / sim.graph().n() as f64),
+            ];
+            metrics.extend(standard_metrics(&sim.meter().report()));
+            metrics
+        });
+        spent += started.elapsed();
+        cell_cases.push(Case::new(
+            vec![
+                ("family", family.name().into()),
+                ("n", graph.n().into()),
+                ("m", graph.m().into()),
+                ("delta", graph.max_degree().into()),
+                ("model", model_name(model).into()),
+                ("algorithm", alg.name().into()),
+            ],
+            measurements,
+        ));
+        // The first size always runs; once the budget is spent, the rest
+        // of the n axis truncates (tallied above on later iterations).
+        if spent >= budget {
+            truncated = true;
+        }
+    }
+    // A cell only counts as truncated if budget exhaustion actually cut
+    // sizes (not when the budget ran out exactly on the last size).
+    let cut = truncated
+        && skips.iter().any(|s| {
+            s.kind == "budget"
+                && s.algorithm == alg.name()
+                && s.axis == format!("{}/{}", family.name(), model_name(model))
+        });
+    if cut {
+        for case in &mut cell_cases {
+            case.params.push(("truncated", Json::Bool(true)));
+        }
+    }
+    cases.append(&mut cell_cases);
+    cut
 }
 
 /// Axis filter: `None` admits everything; `Some` is a case-insensitive
@@ -189,7 +274,13 @@ fn matches(filter: &Option<String>, name: &str) -> bool {
         .map_or(true, |f| f.eq_ignore_ascii_case(name))
 }
 
-fn tally(skips: &mut Vec<Skip>, kind: &'static str, algorithm: &'static str, axis: &str) {
+fn tally(
+    skips: &mut Vec<Skip>,
+    kind: &'static str,
+    algorithm: &'static str,
+    axis: impl Into<String>,
+) {
+    let axis = axis.into();
     match skips
         .iter_mut()
         .find(|s| s.kind == kind && s.algorithm == algorithm && s.axis == axis)
@@ -198,7 +289,7 @@ fn tally(skips: &mut Vec<Skip>, kind: &'static str, algorithm: &'static str, axi
         None => skips.push(Skip {
             kind,
             algorithm,
-            axis: axis.to_string(),
+            axis,
             count: 1,
         }),
     }
@@ -207,11 +298,16 @@ fn tally(skips: &mut Vec<Skip>, kind: &'static str, algorithm: &'static str, axi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measure::UNLIMITED_BUDGET_MS;
 
+    /// Quick config with a zero budget: every cell runs exactly its first
+    /// size — deterministic (wall-clock-independent) and fast, which is
+    /// what most structural tests want.
     fn quick_config() -> RunConfig {
         RunConfig {
             seeds: Some(1),
             quick: true,
+            budget_ms: Some(0),
             ..RunConfig::default()
         }
     }
@@ -226,12 +322,9 @@ mod tests {
     }
 
     fn int_field(obj: &Json, key: &str) -> i64 {
-        match obj {
-            Json::Obj(pairs) => match pairs.iter().find(|(k, _)| k == key) {
-                Some((_, Json::Int(i))) => *i,
-                other => panic!("field {key} not an int: {other:?}"),
-            },
-            other => panic!("not an object: {other:?}"),
+        match obj.get(key) {
+            Some(Json::Int(i)) => *i,
+            other => panic!("field {key} not an int: {other:?}"),
         }
     }
 
@@ -274,16 +367,125 @@ mod tests {
         let counts = extra_field(&out, "skip_counts");
         let total = int_field(counts, "total_combinations");
         let run = int_field(counts, "run");
-        let skipped = int_field(counts, "skipped_incompatible");
-        assert_eq!(run + skipped, total, "skips must account for every combo");
+        let incompatible = int_field(counts, "skipped_incompatible");
+        let budget = int_field(counts, "skipped_budget");
+        assert_eq!(
+            run + incompatible + budget,
+            total,
+            "skips must account for every combo"
+        );
         assert_eq!(run, out.cases.len() as i64);
-        assert!(skipped > 0, "the matrix must contain incompatible pairs");
+        assert!(
+            incompatible > 0,
+            "the matrix must contain incompatible pairs"
+        );
         // CD-only algorithms under LOCAL are among the counted skips.
         let model_skips = int_field(counts, "skipped_incompatible_model");
         assert!(model_skips > 0);
         // The §8 path algorithm is scoped to the path family.
         let graph_skips = int_field(counts, "skipped_incompatible_graph");
         assert!(graph_skips > 0);
+        assert_eq!(
+            incompatible,
+            int_field(counts, "skipped_incompatible_model")
+                + int_field(counts, "skipped_incompatible_graph")
+        );
+    }
+
+    #[test]
+    fn zero_budget_truncates_every_multi_size_cell() {
+        let out = run_scenario_matrix(&quick_config());
+        let counts = extra_field(&out, "skip_counts");
+        assert!(int_field(counts, "skipped_budget") > 0);
+        assert!(int_field(counts, "truncated_cells") > 0);
+        assert_eq!(int_field(counts, "budget_ms_per_cell"), 0);
+        // Every case ran at the smallest size only (family generators may
+        // overshoot the requested 16 slightly, e.g. complete binary trees).
+        let mut flagged = 0usize;
+        for case in &out.cases {
+            let n = case
+                .params
+                .iter()
+                .find(|(k, _)| *k == "n")
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap();
+            assert!(n <= 32.0, "budget-cut cell still ran n={n}");
+            if matches!(
+                case.params.iter().find(|(k, _)| *k == "truncated"),
+                Some((_, Json::Bool(true)))
+            ) {
+                flagged += 1;
+            }
+        }
+        // Cells whose later sizes were graph-incompatible anyway are not
+        // budget-cut, but the bulk of the matrix must carry the flag.
+        assert!(flagged * 2 > out.cases.len(), "{flagged} flagged");
+        // The budget-cut skips appear in skipped_pairs with a cell axis.
+        let pairs = extra_field(&out, "skipped_pairs").as_arr().unwrap();
+        assert!(pairs
+            .iter()
+            .any(|p| p.get("kind").and_then(Json::as_str) == Some("budget")
+                && p.get("cell").is_some()));
+    }
+
+    #[test]
+    fn truncated_flag_survives_a_json_round_trip() {
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("cycle".into()),
+            model: Some("local".into()),
+            algo: Some("naive_flood".into()),
+        });
+        assert_eq!(out.cases.len(), 1, "one case at the smallest size");
+        let doc = out.cases[0].to_json();
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("params").unwrap().get("truncated"),
+            Some(&Json::Bool(true)),
+            "truncated flag lost in round trip: {parsed:?}"
+        );
+        // And the cell's fits carry it too.
+        let fits = extra_field(&out, "fits");
+        let reparsed = Json::parse(&fits.to_string_pretty()).unwrap();
+        let cell = &reparsed.as_arr().unwrap()[0];
+        assert_eq!(cell.get("truncated"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn unbudgeted_cell_fits_all_quick_sizes_with_finite_exponents() {
+        // One cheap cell, unlimited budget: all four quick sizes run, the
+        // fit uses all of them, and naive flooding's energy grows
+        // polynomially (Θ(D) on the cycle).
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(UNLIMITED_BUDGET_MS),
+            family: Some("cycle".into()),
+            model: Some("local".into()),
+            algo: Some("naive_flood".into()),
+        });
+        assert_eq!(out.cases.len(), 4);
+        for case in &out.cases {
+            assert!(
+                !case.params.iter().any(|(k, _)| *k == "truncated"),
+                "unbudgeted cell must not truncate"
+            );
+        }
+        let fits = extra_field(&out, "fits").as_arr().unwrap();
+        assert_eq!(fits.len(), 1);
+        let cell = &fits[0];
+        assert_eq!(cell.get("truncated"), Some(&Json::Bool(false)));
+        assert_eq!(cell.get("sizes").unwrap().as_arr().unwrap().len(), 4);
+        let emax = cell.get("metrics").unwrap().get("energy_max").unwrap();
+        assert_eq!(emax.get("points").unwrap().as_f64(), Some(4.0));
+        let exponent = emax.get("exponent").unwrap().as_f64().unwrap();
+        assert!(exponent.is_finite());
+        assert!(
+            emax.get("class").unwrap().as_str() != Some("insufficient-points"),
+            "4 n-points must produce a classified fit"
+        );
     }
 
     #[test]
@@ -291,6 +493,7 @@ mod tests {
         let config = RunConfig {
             seeds: Some(1),
             quick: true,
+            budget_ms: Some(0),
             family: Some("cycle".into()),
             model: Some("cd".into()),
             algo: Some("theorem11".into()),
@@ -313,10 +516,12 @@ mod tests {
         let config = RunConfig {
             seeds: Some(1),
             quick: true,
+            budget_ms: Some(0),
             algo: Some("nonexistent".into()),
             ..RunConfig::default()
         };
         let out = run_scenario_matrix(&config);
         assert!(out.cases.is_empty());
+        assert!(extra_field(&out, "fits").as_arr().unwrap().is_empty());
     }
 }

@@ -131,47 +131,50 @@ fn down_sweep(
     let children = st.children();
     let max_layer = st.max_layer();
     for layer in 0..=max_layer {
+        // One sparse schedule per layer: parent `v` owns the reserved slot
+        // `ids[v] − 1` of the layer's N-slot block, its children listen
+        // there, and the engine batch-skips the other N − |parents| slots.
+        // Parents sit at `layer`, receivers at `layer + 1`, so receptions
+        // within one layer never feed later transmissions of the same
+        // layer and can fold after the block.
         let mut active: Vec<NodeId> = (0..n)
             .filter(|&v| st.labeling.label(v) == layer && !children[v].is_empty())
             .collect();
         active.sort_by_key(|&v| ids[v]);
-        let mut consumed = 0u64;
+        let mut schedule: Vec<(u64, Vec<NodeId>)> = Vec::with_capacity(active.len());
+        let mut parent_at: std::collections::HashMap<u64, NodeId> = Default::default();
         for &v in &active {
-            sim.skip(ids[v] - 1 - consumed);
-            consumed = ids[v];
-            let msg = msgs[v];
-            let receivers = &children[v];
-            let mut heard: Vec<Option<u64>> = vec![None; receivers.len()];
-            let mut behavior = ebc_radio::from_fns(
-                |u, _t| {
-                    if u == v {
-                        match msg {
-                            Some(m) => ebc_radio::Action::Send(m),
-                            None => ebc_radio::Action::Idle,
-                        }
-                    } else {
-                        ebc_radio::Action::Listen
-                    }
-                },
-                |u, _t, fb: ebc_radio::Feedback<u64>| {
-                    if let ebc_radio::Feedback::One(m) = fb {
-                        let i = receivers.iter().position(|&r| r == u).expect("receiver");
-                        heard[i] = Some(m);
-                    }
-                },
-            );
+            let slot = ids[v] - 1;
+            parent_at.insert(slot, v);
             let participants: Vec<NodeId> = std::iter::once(v)
-                .chain(receivers.iter().copied())
+                .chain(children[v].iter().copied())
                 .collect();
-            sim.run(&participants, 1, &mut behavior);
-            drop(behavior);
-            for (i, &r) in receivers.iter().enumerate() {
-                if let Some(m) = heard[i] {
-                    fold(msgs, r, m);
-                }
-            }
+            schedule.push((slot, participants));
         }
-        sim.skip(id_space - consumed);
+        let mut received: Vec<(NodeId, u64)> = Vec::new();
+        let msgs_now: &Vec<Option<u64>> = msgs;
+        let mut behavior = ebc_radio::from_fns(
+            |u, t| {
+                if parent_at.get(&t) == Some(&u) {
+                    match msgs_now[u] {
+                        Some(m) => ebc_radio::Action::Send(m),
+                        None => ebc_radio::Action::Idle,
+                    }
+                } else {
+                    ebc_radio::Action::Listen
+                }
+            },
+            |u, _t, fb: ebc_radio::Feedback<u64>| {
+                if let ebc_radio::Feedback::One(m) = fb {
+                    received.push((u, m));
+                }
+            },
+        );
+        sim.run_scheduled(&schedule, id_space, &mut behavior);
+        drop(behavior);
+        for (r, m) in received {
+            fold(msgs, r, m);
+        }
     }
 }
 

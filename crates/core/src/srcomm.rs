@@ -431,7 +431,6 @@ struct TdmaBehavior<'a, M> {
     recv_index: std::collections::HashMap<NodeId, usize>,
     got: Vec<Option<M>>,
     colors: &'a [u32],
-    graph: ebc_radio::Graph,
 }
 
 impl<M: Clone> SlotBehavior<M> for TdmaBehavior<'_, M> {
@@ -443,12 +442,10 @@ impl<M: Clone> SlotBehavior<M> for TdmaBehavior<'_, M> {
             }
             Action::Idle
         } else {
-            // A receiver listens only in slots matching a neighbor's color —
-            // the listen schedule every vertex knows after Learn-Degree +
-            // coloring.
-            if self.got[self.recv_index[&v]].is_none()
-                && self.graph.neighbors(v).any(|u| self.colors[u] == c)
-            {
+            // Only scheduled in slots matching a neighbor's color — the
+            // listen schedule every vertex knows after Learn-Degree +
+            // coloring — so listen unless the message already arrived.
+            if self.got[self.recv_index[&v]].is_none() {
                 return Action::Listen;
             }
             Action::Idle
@@ -477,19 +474,44 @@ fn run_tdma<M: Clone + core::fmt::Debug>(
     colors: &[u32],
     num_colors: u32,
 ) -> Vec<Option<M>> {
-    let participants: Vec<NodeId> = senders
-        .iter()
-        .map(|(v, _)| *v)
-        .chain(receivers.iter().copied())
+    // The TDMA schedule is public: slot `c` can only carry color class `c`,
+    // and a receiver only ever listens in its neighbors' color slots. Build
+    // that sparse schedule once and let the engine batch-skip every other
+    // slot instead of polling all participants through the whole frame.
+    let sender_set: std::collections::HashSet<NodeId> = senders.iter().map(|(v, _)| *v).collect();
+    let mut per_slot: Vec<Vec<NodeId>> = vec![Vec::new(); num_colors as usize];
+    for &(v, _) in senders {
+        per_slot[colors[v] as usize].push(v);
+    }
+    let mut seen = vec![false; num_colors as usize];
+    for &r in receivers {
+        if sender_set.contains(&r) {
+            continue; // senders never listen in a TDMA round
+        }
+        for c in seen.iter_mut() {
+            *c = false;
+        }
+        for u in sim.graph().neighbors(r) {
+            let c = colors[u] as usize;
+            if !seen[c] {
+                seen[c] = true;
+                per_slot[c].push(r);
+            }
+        }
+    }
+    let schedule: Vec<(u64, Vec<NodeId>)> = per_slot
+        .into_iter()
+        .enumerate()
+        .filter(|(_, ps)| !ps.is_empty())
+        .map(|(c, ps)| (c as u64, ps))
         .collect();
     let mut behavior = TdmaBehavior {
         sender_of: senders.iter().cloned().collect(),
         recv_index: receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect(),
         got: vec![None; receivers.len()],
         colors,
-        graph: sim.graph().clone(),
     };
-    sim.run(&participants, u64::from(num_colors), &mut behavior);
+    sim.run_scheduled(&schedule, u64::from(num_colors), &mut behavior);
     behavior.got
 }
 

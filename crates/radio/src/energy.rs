@@ -13,6 +13,7 @@ pub struct EnergyMeter {
     sends: Vec<u64>,
     listens: Vec<u64>,
     last_active: Option<Slot>,
+    idle_skipped: u64,
 }
 
 impl EnergyMeter {
@@ -22,6 +23,7 @@ impl EnergyMeter {
             sends: vec![0; n],
             listens: vec![0; n],
             last_active: None,
+            idle_skipped: 0,
         }
     }
 
@@ -39,6 +41,19 @@ impl EnergyMeter {
 
     fn bump(&mut self, t: Slot) {
         self.last_active = Some(self.last_active.map_or(t, |x| x.max(t)));
+    }
+
+    /// Records `slots` slots in which every device provably idled and the
+    /// clock advanced in one batch (the [`crate::Sim::skip`] path and the
+    /// gaps of a sparse schedule). Idling is free, so no energy is charged;
+    /// the counter only makes the batching observable in reports.
+    pub fn note_skip(&mut self, slots: u64) {
+        self.idle_skipped += slots;
+    }
+
+    /// Total slots batch-skipped as provably idle.
+    pub fn idle_skipped(&self) -> u64 {
+        self.idle_skipped
     }
 
     /// Total energy spent by `v` (sends + listens).
@@ -108,6 +123,7 @@ impl EnergyMeter {
             p95: p(0.95),
             total: self.total_energy(),
             time: self.last_active.map_or(0, |t| t + 1),
+            idle_skipped: self.idle_skipped,
         }
     }
 
@@ -116,6 +132,7 @@ impl EnergyMeter {
         self.sends.iter_mut().for_each(|x| *x = 0);
         self.listens.iter_mut().for_each(|x| *x = 0);
         self.last_active = None;
+        self.idle_skipped = 0;
     }
 
     /// Folds `other`'s charges into this meter (device-wise sums, latest
@@ -138,6 +155,7 @@ impl EnergyMeter {
         for (a, b) in self.listens.iter_mut().zip(&other.listens) {
             *a += b;
         }
+        self.idle_skipped += other.idle_skipped;
         if let Some(t) = other.last_active {
             self.bump(t);
         }
@@ -159,14 +177,17 @@ pub struct EnergyReport {
     pub total: u64,
     /// Number of slots up to and including the last active one.
     pub time: u64,
+    /// Slots the simulation batch-skipped as provably idle (free time the
+    /// engine never simulated slot-by-slot).
+    pub idle_skipped: u64,
 }
 
 impl core::fmt::Display for EnergyReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "time={} slots, energy max={} mean={:.1} median={} p95={} total={}",
-            self.time, self.max, self.mean, self.median, self.p95, self.total
+            "time={} slots ({} idle-skipped), energy max={} mean={:.1} median={} p95={} total={}",
+            self.time, self.idle_skipped, self.max, self.mean, self.median, self.p95, self.total
         )
     }
 }
@@ -301,9 +322,27 @@ mod tests {
                 median: 0,
                 p95: 0,
                 total: 0,
-                time: 0
+                time: 0,
+                idle_skipped: 0
             }
         );
+    }
+
+    #[test]
+    fn idle_skips_are_counted_merged_and_reset() {
+        let mut m = EnergyMeter::new(2);
+        m.note_skip(100);
+        m.note_skip(23);
+        assert_eq!(m.idle_skipped(), 123);
+        assert_eq!(m.total_energy(), 0, "idling is free");
+        assert_eq!(m.last_active(), None, "skips are not activity");
+        let mut other = EnergyMeter::new(2);
+        other.note_skip(7);
+        m.merge(&other);
+        assert_eq!(m.idle_skipped(), 130);
+        assert_eq!(m.report().idle_skipped, 130);
+        m.reset();
+        assert_eq!(m.idle_skipped(), 0);
     }
 
     #[test]

@@ -121,8 +121,13 @@ impl Sim {
     }
 
     /// Advances the clock over `slots` slots in which every device idles.
+    ///
+    /// Idling is free, so no energy is charged; the meter counts the
+    /// batch-skipped slots (`idle_skipped`) so reports can show how much of
+    /// the clock was never simulated slot-by-slot.
     pub fn skip(&mut self, slots: u64) {
         self.clock += slots;
+        self.meter.note_skip(slots);
     }
 
     /// Folds a sub-engine's [`EnergyMeter`] into this simulation's meter —
@@ -172,62 +177,132 @@ impl Sim {
         let mut senders: Vec<(NodeId, M)> = Vec::new();
         let mut listeners: Vec<NodeId> = Vec::new();
         for t in 0..slots {
-            senders.clear();
-            listeners.clear();
-            let now = self.clock;
-            for &v in participants {
-                let action = behavior.act(v, t);
-                match &action {
-                    Action::Idle => {}
-                    Action::Send(m) => {
-                        self.meter.charge_send(v, now);
-                        if let Some(tr) = &mut self.trace {
-                            tr.push(now, v, TraceKind::Send(format!("{m:?}")));
-                        }
-                        senders.push((v, m.clone()));
-                    }
-                    Action::Listen => {
-                        self.meter.charge_listen(v, now);
-                        listeners.push(v);
-                    }
-                    Action::SendListen(m) => {
-                        self.meter.charge_send(v, now);
-                        self.meter.charge_listen(v, now);
-                        if let Some(tr) = &mut self.trace {
-                            tr.push(now, v, TraceKind::Send(format!("{m:?}")));
-                        }
-                        senders.push((v, m.clone()));
-                        listeners.push(v);
-                    }
-                }
-            }
-            for (i, (v, _)) in senders.iter().enumerate() {
-                self.sending[*v] = i as u32 + 1;
-            }
-            for &v in &listeners {
-                let fb = resolve(
-                    self.model,
-                    self.graph.neighbors(v).filter_map(|u| {
-                        let idx = self.sending[u];
-                        (idx != 0).then(|| (u, senders[idx as usize - 1].1.clone()))
-                    }),
-                );
-                if let Some(tr) = &mut self.trace {
-                    let kind = match &fb {
-                        Feedback::Silence => TraceKind::HeardSilence,
-                        Feedback::Noise | Feedback::Beep => TraceKind::HeardNoise,
-                        Feedback::One(m) => TraceKind::Recv(format!("{m:?}")),
-                        Feedback::Many(ms) => TraceKind::Recv(format!("{ms:?}")),
-                    };
-                    tr.push(now, v, kind);
-                }
-                behavior.feedback(v, t, fb);
-            }
-            for (v, _) in &senders {
-                self.sending[*v] = 0;
-            }
-            self.clock += 1;
+            self.step_slot(participants, t, behavior, &mut senders, &mut listeners);
         }
+    }
+
+    /// Runs one primitive of `slots` slots under a *sparse public
+    /// schedule*: `schedule` names, per possibly-active local slot, the
+    /// only devices that may act; every unlisted slot is provably idle for
+    /// all devices and advances the clock in one batch (the [`skip`] path),
+    /// never polling any behavior.
+    ///
+    /// This is the engine-level batching that keeps schedules with long
+    /// idle stretches — Theorem 27's per-ID reserved intervals, TDMA frames
+    /// — from costing wall-clock proportional to their slot count: cost is
+    /// `O(Σ |scheduled participants|)`, not `O(devices × slots)`.
+    ///
+    /// Scheduled slots must be strictly increasing and `< slots`; a
+    /// device listed in a slot may still act [`Action::Idle`] there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is unsorted, exceeds `slots`, or lists a
+    /// duplicate participant within one slot.
+    ///
+    /// [`skip`]: Sim::skip
+    pub fn run_scheduled<M, B>(
+        &mut self,
+        schedule: &[(u64, Vec<NodeId>)],
+        slots: u64,
+        behavior: &mut B,
+    ) where
+        M: Clone + core::fmt::Debug,
+        B: SlotBehavior<M>,
+    {
+        let mut senders: Vec<(NodeId, M)> = Vec::new();
+        let mut listeners: Vec<NodeId> = Vec::new();
+        let mut next = 0u64;
+        for (t, participants) in schedule {
+            assert!(
+                *t >= next,
+                "schedule slots must be strictly increasing (slot {t} after {next})"
+            );
+            assert!(*t < slots, "scheduled slot {t} outside 0..{slots}");
+            debug_assert!(
+                {
+                    let mut seen = participants.to_vec();
+                    seen.sort_unstable();
+                    seen.windows(2).all(|w| w[0] != w[1])
+                },
+                "duplicate participants in slot {t}"
+            );
+            self.skip(t - next);
+            self.step_slot(participants, *t, behavior, &mut senders, &mut listeners);
+            next = t + 1;
+        }
+        self.skip(slots - next);
+    }
+
+    /// Simulates one slot (local slot number `t`) for `participants`,
+    /// advancing the clock by one. `senders`/`listeners` are caller-owned
+    /// scratch so multi-slot drivers reuse the allocations.
+    fn step_slot<M, B>(
+        &mut self,
+        participants: &[NodeId],
+        t: u64,
+        behavior: &mut B,
+        senders: &mut Vec<(NodeId, M)>,
+        listeners: &mut Vec<NodeId>,
+    ) where
+        M: Clone + core::fmt::Debug,
+        B: SlotBehavior<M>,
+    {
+        senders.clear();
+        listeners.clear();
+        let now = self.clock;
+        for &v in participants {
+            let action = behavior.act(v, t);
+            match &action {
+                Action::Idle => {}
+                Action::Send(m) => {
+                    self.meter.charge_send(v, now);
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(now, v, TraceKind::Send(format!("{m:?}")));
+                    }
+                    senders.push((v, m.clone()));
+                }
+                Action::Listen => {
+                    self.meter.charge_listen(v, now);
+                    listeners.push(v);
+                }
+                Action::SendListen(m) => {
+                    self.meter.charge_send(v, now);
+                    self.meter.charge_listen(v, now);
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(now, v, TraceKind::Send(format!("{m:?}")));
+                    }
+                    senders.push((v, m.clone()));
+                    listeners.push(v);
+                }
+            }
+        }
+        for (i, (v, _)) in senders.iter().enumerate() {
+            self.sending[*v] = i as u32 + 1;
+        }
+        for &v in listeners.iter() {
+            let fb = resolve(
+                self.model,
+                self.graph.neighbors(v).filter_map(|u| {
+                    let idx = self.sending[u];
+                    (idx != 0).then(|| (u, senders[idx as usize - 1].1.clone()))
+                }),
+            );
+            if let Some(tr) = &mut self.trace {
+                let kind = match &fb {
+                    Feedback::Silence => TraceKind::HeardSilence,
+                    Feedback::Noise | Feedback::Beep => TraceKind::HeardNoise,
+                    Feedback::One(m) => TraceKind::Recv(format!("{m:?}")),
+                    Feedback::Many(ms) => TraceKind::Recv(format!("{ms:?}")),
+                };
+                tr.push(now, v, kind);
+            }
+            behavior.feedback(v, t, fb);
+        }
+        for (v, _) in senders.iter() {
+            self.sending[*v] = 0;
+        }
+        self.clock += 1;
     }
 }
 
@@ -394,6 +469,92 @@ mod tests {
         let b = Sim::new(Arc::clone(&g), Model::Cd, 1);
         assert!(Arc::ptr_eq(a.graph_arc(), b.graph_arc()));
         assert!(Arc::ptr_eq(a.graph_arc(), &g));
+    }
+
+    #[test]
+    fn run_scheduled_matches_dense_run() {
+        // The same star broadcast driven densely and sparsely must produce
+        // identical feedback, energy, and clock.
+        let dense = |sim: &mut Sim| {
+            let mut got = Vec::new();
+            let mut b = from_fns(
+                |v, t| {
+                    if v == 0 && t == 3 {
+                        Action::Send(7u8)
+                    } else if v != 0 && t == 3 {
+                        Action::Listen
+                    } else {
+                        Action::Idle
+                    }
+                },
+                |v, _, fb| got.push((v, fb)),
+            );
+            sim.run(&[0, 1, 2], 10, &mut b);
+            drop(b);
+            got
+        };
+        let sparse = |sim: &mut Sim| {
+            let mut got = Vec::new();
+            let mut b = from_fns(
+                |v, t| {
+                    assert_eq!(t, 3, "only the scheduled slot is polled");
+                    if v == 0 {
+                        Action::Send(7u8)
+                    } else {
+                        Action::Listen
+                    }
+                },
+                |v, _, fb| got.push((v, fb)),
+            );
+            sim.run_scheduled(&[(3, vec![0, 1, 2])], 10, &mut b);
+            drop(b);
+            got
+        };
+        let mut a = Sim::new(star(2), Model::Cd, 0);
+        let mut b = Sim::new(star(2), Model::Cd, 0);
+        let ga = dense(&mut a);
+        let gb = sparse(&mut b);
+        assert_eq!(ga, gb);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.meter().report().total, b.meter().report().total);
+        assert_eq!(a.meter().last_active(), b.meter().last_active());
+        // The sparse run batch-skipped the 9 unscheduled slots.
+        assert_eq!(b.meter().idle_skipped(), 9);
+    }
+
+    #[test]
+    fn run_scheduled_batches_trailing_and_leading_gaps() {
+        let mut sim = Sim::new(star(1), Model::Cd, 0);
+        let mut b = from_fns(|_, _| Action::Send(1u8), |_, _, _| {});
+        sim.run_scheduled(&[(100, vec![0]), (200, vec![1])], 1_000_000, &mut b);
+        assert_eq!(sim.now(), 1_000_000);
+        assert_eq!(sim.meter().last_active(), Some(200));
+        assert_eq!(sim.meter().total_energy(), 2);
+        assert_eq!(sim.meter().idle_skipped(), 1_000_000 - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn run_scheduled_rejects_unsorted_schedules() {
+        let mut sim = Sim::new(star(1), Model::Cd, 0);
+        let mut b = from_fns(|_, _| Action::<u8>::Idle, |_, _, _| {});
+        sim.run_scheduled(&[(5, vec![0]), (5, vec![1])], 10, &mut b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn run_scheduled_rejects_out_of_range_slots() {
+        let mut sim = Sim::new(star(1), Model::Cd, 0);
+        let mut b = from_fns(|_, _| Action::<u8>::Idle, |_, _, _| {});
+        sim.run_scheduled(&[(10, vec![0])], 10, &mut b);
+    }
+
+    #[test]
+    fn skip_is_metered_as_idle() {
+        let mut sim = Sim::new(star(1), Model::Cd, 0);
+        sim.skip(42);
+        assert_eq!(sim.meter().idle_skipped(), 42);
+        assert_eq!(sim.meter().total_energy(), 0);
     }
 
     #[test]
