@@ -21,6 +21,7 @@
 
 use crate::json::Json;
 use crate::measure::Case;
+use crate::stats;
 
 /// Metrics fitted across the n axis, in presentation order.
 pub const FIT_METRICS: [&str; 3] = ["energy_max", "energy_mean", "time"];
@@ -168,6 +169,55 @@ pub struct MetricFit {
     pub polylog: Option<FitLine>,
     /// The growth class.
     pub class: GrowthClass,
+    /// Seed-level bootstrap percentile CI on the power-law exponent
+    /// ([`stats::CI_LEVEL`] two-sided, [`stats::DEFAULT_RESAMPLES`]
+    /// resamples; `None` when the point fit itself is unavailable).
+    pub exponent_ci: Option<(f64, f64)>,
+    /// Fraction of bootstrap refits whose growth class matched [`class`]
+    /// (`None` when no resample refit successfully).
+    ///
+    /// [`class`]: MetricFit::class
+    pub class_agreement: Option<f64>,
+    /// Whether the classification is stable under seed resampling: enough
+    /// usable points *and* class agreement of at least
+    /// [`stats::CLASS_CONFIDENCE_THRESHOLD`]. The baseline gate treats a
+    /// class flip between two confident fits with disjoint exponent CIs
+    /// as a regression; anything softer is only a note.
+    pub class_confident: bool,
+}
+
+/// Seed-level bootstrap of one metric series: refits the power-law
+/// exponent and growth class on each resample of the per-point seed
+/// values. Returns the exponent CI and the class-agreement fraction
+/// (both `None` when no resample produced a fit).
+fn bootstrap_fit(
+    ns: &[f64],
+    groups: &[&[f64]],
+    point_class: GrowthClass,
+    seed: u64,
+) -> (Option<(f64, f64)>, Option<f64>) {
+    let refits = stats::bootstrap_refit(groups, stats::DEFAULT_RESAMPLES, seed, |means| {
+        let series: Vec<(f64, f64)> = ns.iter().copied().zip(means.iter().copied()).collect();
+        let points = usable(&series, 1.0).len();
+        let power = fit_power_law(&series)?;
+        let polylog = fit_polylog(&series);
+        let class = classify(Some(&power), polylog.as_ref(), points);
+        Some((power.slope, class))
+    });
+    // A mostly-degenerate bootstrap (most resamples unfittable, e.g. a
+    // seed whose metric is ~0 dragging resampled means non-positive) says
+    // nothing trustworthy: a CI over the few survivors would be
+    // artificially narrow and the agreement denominator tiny. Report no
+    // CI instead — the gate then falls back to the tolerance band and the
+    // fit is never class-confident.
+    if refits.len() * 2 < stats::DEFAULT_RESAMPLES {
+        return (None, None);
+    }
+    let mut slopes: Vec<f64> = refits.iter().map(|(s, _)| *s).collect();
+    let ci = stats::percentile_ci(&mut slopes);
+    let agreement =
+        refits.iter().filter(|(_, c)| *c == point_class).count() as f64 / refits.len() as f64;
+    (ci, Some(agreement))
 }
 
 /// Scaling fits of one `(algorithm, family, model)` cell across its n axis.
@@ -213,19 +263,27 @@ fn param_bool(case: &Case, key: &str) -> bool {
 }
 
 /// Groups scenario-matrix cases into `(algorithm, family, model)` cells
-/// and fits every [`FIT_METRICS`] series across each cell's n axis.
+/// and fits every [`FIT_METRICS`] series across each cell's n axis,
+/// bootstrapping a CI on every fitted exponent from the per-seed
+/// measurements ([`stats`]).
 ///
 /// Cases missing any of the three identity params are skipped; cells keep
 /// first-appearance order, sizes sort ascending within a cell. A cell is
 /// `truncated` if any of its cases carries the `truncated: true` param.
 pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
+    struct Row {
+        n: f64,
+        // Per-metric mean and per-metric per-seed values.
+        means: Vec<f64>,
+        values: Vec<Vec<f64>>,
+    }
     struct CellAcc {
         algorithm: String,
         family: String,
         model: String,
         truncated: bool,
-        // (n, per-metric mean) rows, later sorted by n.
-        rows: Vec<(f64, Vec<f64>)>,
+        // One row per n, later sorted by n.
+        rows: Vec<Row>,
     }
     let mut cells: Vec<CellAcc> = Vec::new();
     for case in cases {
@@ -241,13 +299,15 @@ pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
             .iter()
             .map(|m| case.summary.metric(m).map_or(f64::NAN, |s| s.mean))
             .collect();
+        let values: Vec<Vec<f64>> = FIT_METRICS.iter().map(|m| case.metric_values(m)).collect();
         let truncated = param_bool(case, "truncated");
+        let row = Row { n, means, values };
         match cells
             .iter_mut()
             .find(|c| c.algorithm == algorithm && c.family == family && c.model == model)
         {
             Some(cell) => {
-                cell.rows.push((n, means));
+                cell.rows.push(row);
                 cell.truncated |= truncated;
             }
             None => cells.push(CellAcc {
@@ -255,7 +315,7 @@ pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
                 family,
                 model,
                 truncated,
-                rows: vec![(n, means)],
+                rows: vec![row],
             }),
         }
     }
@@ -263,23 +323,45 @@ pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
         .into_iter()
         .map(|mut cell| {
             cell.rows
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite n"));
+                .sort_by(|a, b| a.n.partial_cmp(&b.n).expect("finite n"));
+            let ns: Vec<f64> = cell.rows.iter().map(|r| r.n).collect();
             let metrics = FIT_METRICS
                 .iter()
                 .enumerate()
                 .map(|(mi, &metric)| {
                     let series: Vec<(f64, f64)> =
-                        cell.rows.iter().map(|(n, ms)| (*n, ms[mi])).collect();
+                        cell.rows.iter().map(|r| (r.n, r.means[mi])).collect();
                     let points = usable(&series, 1.0).len();
                     let power = fit_power_law(&series);
                     let polylog = fit_polylog(&series);
                     let class = classify(power.as_ref(), polylog.as_ref(), points);
+                    // Bootstrap only where a point fit exists; the stream
+                    // is seeded from the cell identity so CI runs
+                    // reproduce bit-for-bit.
+                    let (exponent_ci, class_agreement) = if power.is_some() {
+                        let groups: Vec<&[f64]> =
+                            cell.rows.iter().map(|r| r.values[mi].as_slice()).collect();
+                        let seed = stats::seed_from_parts(&[
+                            &cell.algorithm,
+                            &cell.family,
+                            &cell.model,
+                            metric,
+                        ]);
+                        bootstrap_fit(&ns, &groups, class, seed)
+                    } else {
+                        (None, None)
+                    };
+                    let class_confident = points >= MIN_FIT_POINTS
+                        && class_agreement.is_some_and(|a| a >= stats::CLASS_CONFIDENCE_THRESHOLD);
                     MetricFit {
                         metric,
                         points,
                         power,
                         polylog,
                         class,
+                        exponent_ci,
+                        class_agreement,
+                        class_confident,
                     }
                 })
                 .collect();
@@ -287,12 +369,28 @@ pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
                 algorithm: cell.algorithm,
                 family: cell.family,
                 model: cell.model,
-                sizes: cell.rows.iter().map(|(n, _)| *n).collect(),
+                sizes: ns,
                 truncated: cell.truncated,
                 metrics,
             }
         })
         .collect()
+}
+
+/// Serializes a CI as a two-element `[lo, hi]` array (or `null`).
+pub fn ci_json(ci: Option<(f64, f64)>) -> Json {
+    match ci {
+        Some((lo, hi)) => Json::Arr(vec![Json::Num(lo), Json::Num(hi)]),
+        None => Json::Null,
+    }
+}
+
+/// Parses a `[lo, hi]` CI array back (inverse of [`ci_json`]).
+pub fn ci_from_json(v: Option<&Json>) -> Option<(f64, f64)> {
+    match v?.as_arr()? {
+        [lo, hi] => Some((lo.as_f64()?, hi.as_f64()?)),
+        _ => None,
+    }
 }
 
 fn fit_json(fit: Option<&FitLine>, prefix: &str) -> Vec<(String, Json)> {
@@ -320,6 +418,13 @@ impl CellFit {
             for (k, v) in fit_json(m.power.as_ref(), "") {
                 obj = obj.field(&k, v);
             }
+            obj = obj
+                .field("exponent_ci", ci_json(m.exponent_ci))
+                .field(
+                    "class_agreement",
+                    m.class_agreement.map_or(Json::Null, Json::Num),
+                )
+                .field("class_confident", m.class_confident);
             for (k, v) in fit_json(m.polylog.as_ref(), "polylog_") {
                 obj = obj.field(&k, v);
             }
@@ -502,5 +607,137 @@ mod tests {
         let emax = cell.get("metrics").unwrap().get("energy_max").unwrap();
         assert_eq!(emax.get("class").unwrap().as_str(), Some("polylog"));
         assert!(emax.get("exponent").unwrap().as_f64().is_some());
+        // Every fitted metric carries its bootstrap fields.
+        for metric in FIT_METRICS {
+            let m = cell.get("metrics").unwrap().get(metric).unwrap();
+            assert!(
+                ci_from_json(m.get("exponent_ci")).is_some(),
+                "{metric} missing exponent_ci: {m:?}"
+            );
+            assert!(matches!(m.get("class_confident"), Some(Json::Bool(_))));
+            assert!(m.get("class_agreement").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn ci_json_round_trips_and_rejects_malformed() {
+        assert_eq!(
+            ci_from_json(Some(&ci_json(Some((0.5, 1.5))))),
+            Some((0.5, 1.5))
+        );
+        assert_eq!(ci_json(None), Json::Null);
+        assert!(ci_from_json(Some(&Json::Null)).is_none());
+        assert!(ci_from_json(None).is_none());
+        assert!(ci_from_json(Some(&Json::Arr(vec![Json::Num(1.0)]))).is_none());
+    }
+
+    /// A cell whose per-point values carry seed noise around `y = n^b`.
+    fn noisy_cases(b: f64, seeds: usize) -> Vec<Case> {
+        [16usize, 32, 64, 128, 256]
+            .iter()
+            .map(|&n| {
+                let measurements = (0..seeds)
+                    .map(|s| {
+                        // Deterministic ±10% multiplicative "seed noise".
+                        let noise = 1.0 + 0.1 * f64::from((s as i32 % 3) - 1);
+                        Measurement {
+                            seed: 1000 + s as u64,
+                            metrics: vec![
+                                ("energy_max", (n as f64).powf(b) * noise),
+                                ("energy_mean", (n as f64).powf(b) * noise / 2.0),
+                                ("time", n as f64 * 10.0 * noise),
+                            ],
+                        }
+                    })
+                    .collect();
+                Case::new(
+                    vec![
+                        ("family", "cycle".into()),
+                        ("n", n.into()),
+                        ("model", "cd".into()),
+                        ("algorithm", "alg_a".into()),
+                    ],
+                    measurements,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_true_exponent_and_is_reproducible() {
+        let fits = scaling_fits(&noisy_cases(1.5, 6));
+        let emax = &fits[0].metrics[0];
+        let (lo, hi) = emax.exponent_ci.expect("CI for a fitted series");
+        assert!(lo <= hi);
+        assert!(
+            lo < 1.5 && 1.5 < hi,
+            "CI [{lo}, {hi}] should bracket the true exponent 1.5"
+        );
+        assert!(hi - lo < 0.5, "CI implausibly wide for ±10% noise");
+        // Polynomial growth at b = 1.5 is stable under seed resampling.
+        assert_eq!(emax.class, GrowthClass::Polynomial);
+        assert!(emax.class_confident, "agreement {:?}", emax.class_agreement);
+        // Same inputs, same CI — the resampler is identity-seeded.
+        let again = scaling_fits(&noisy_cases(1.5, 6));
+        assert_eq!(again[0].metrics[0].exponent_ci, Some((lo, hi)));
+    }
+
+    #[test]
+    fn single_seed_cells_get_degenerate_but_present_cis() {
+        // One seed per point: every resample is identical, so the CI is
+        // zero-width at the point estimate and the class trivially agrees.
+        let cases: Vec<Case> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&n| case("alg_a", "cycle", "cd", n, (n as f64).powf(2.0)))
+            .collect();
+        let fits = scaling_fits(&cases);
+        let emax = &fits[0].metrics[0];
+        let (lo, hi) = emax.exponent_ci.unwrap();
+        assert!((lo - hi).abs() < 1e-12, "[{lo}, {hi}]");
+        assert!((lo - emax.power.unwrap().slope).abs() < 1e-9);
+        assert_eq!(emax.class_agreement, Some(1.0));
+    }
+
+    #[test]
+    fn mostly_degenerate_bootstrap_reports_no_ci() {
+        // One point never usable (all values non-positive), one always,
+        // one usable only ~25% of the time: ~75% of refits end with a
+        // single usable point and fail. The survivors are too few to
+        // trust — the guard must suppress the CI instead of reporting an
+        // artificially narrow interval over a handful of refits.
+        let g1: &[f64] = &[-1.0, -1.0];
+        let g2: &[f64] = &[2.0, 2.0];
+        let g3: &[f64] = &[1.0, -2.0];
+        let (ci, agreement) = bootstrap_fit(
+            &[16.0, 32.0, 64.0],
+            &[g1, g2, g3],
+            GrowthClass::Insufficient,
+            7,
+        );
+        assert_eq!(ci, None, "mostly-failed bootstrap must not yield a CI");
+        assert_eq!(agreement, None);
+        // A healthy series keeps its CI.
+        let h1: &[f64] = &[2.0, 2.0];
+        let h2: &[f64] = &[4.0, 4.0];
+        let h3: &[f64] = &[8.0, 8.0];
+        let (ci, agreement) = bootstrap_fit(
+            &[16.0, 32.0, 64.0],
+            &[h1, h2, h3],
+            GrowthClass::Polynomial,
+            7,
+        );
+        assert!(ci.is_some());
+        assert!(agreement.is_some());
+    }
+
+    #[test]
+    fn unfittable_series_have_no_ci_and_no_confidence() {
+        // A single-point cell fits nothing: no CI, not confident.
+        let fits = scaling_fits(&[case("alg_b", "cycle", "cd", 16, 1.0)]);
+        let emax = &fits[0].metrics[0];
+        assert!(emax.power.is_none());
+        assert!(emax.exponent_ci.is_none());
+        assert!(emax.class_agreement.is_none());
+        assert!(!emax.class_confident);
     }
 }

@@ -40,6 +40,125 @@ pub struct ExperimentSpec {
     pub note: &'static str,
     /// Runs the experiment under `config`.
     pub run: fn(&RunConfig) -> ExperimentOutput,
+    /// Experiment-specific scalars for the baseline regression gate
+    /// (e.g. `fig1_path`'s `within_2n` rate, Theorem 2's slot counts) —
+    /// folded into [`Gateable::gate_scalars`] next to the generic
+    /// per-experiment energy means. `None` for experiments whose per-case
+    /// summaries already say everything gateable.
+    pub gate: Option<fn(&ExperimentResult) -> Vec<GateScalar>>,
+}
+
+/// One named scalar an experiment exposes to the baseline regression
+/// gate, beyond its per-case summary means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateScalar {
+    /// Stable scalar name (the baseline document key).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl GateScalar {
+    fn new(name: impl Into<String>, value: f64) -> GateScalar {
+        GateScalar {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// Experiments that declare scalar outputs for the regression gate.
+///
+/// Every [`ExperimentResult`] is gateable: the default scalars are the
+/// grand means of the standard energy metrics over all cases, and specs
+/// with a [`gate`] hook contribute their experiment-specific scalars
+/// (delivery-deadline rates, lower-bound slot counts, …) on top. The
+/// baseline gate records these under a `scalars` section and diffs them
+/// with the same relative tolerance as per-case means.
+///
+/// [`gate`]: ExperimentSpec::gate
+pub trait Gateable {
+    /// The scalars the gate records and diffs, in stable order.
+    fn gate_scalars(&self) -> Vec<GateScalar>;
+}
+
+impl Gateable for ExperimentResult {
+    fn gate_scalars(&self) -> Vec<GateScalar> {
+        let mut scalars = Vec::new();
+        // Per-experiment energy means: the grand mean over cases of each
+        // energy metric's per-case mean (skipped where a metric is absent
+        // or non-finite, so experiments without the standard metric set
+        // still gate on their own scalars).
+        for metric in ["energy_mean", "energy_max"] {
+            let means: Vec<f64> = self
+                .cases
+                .iter()
+                .filter_map(|c| c.summary.metric(metric).map(|s| s.mean))
+                .filter(|v| v.is_finite())
+                .collect();
+            if !means.is_empty() {
+                scalars.push(GateScalar::new(
+                    format!("{metric}_over_cases"),
+                    means.iter().sum::<f64>() / means.len() as f64,
+                ));
+            }
+        }
+        if let Some(gate) = self.spec.gate {
+            scalars.extend(gate(self));
+        }
+        scalars
+    }
+}
+
+/// The grand mean of `metric` over every measurement of every case
+/// (`None` when no measurement recorded it).
+fn measurement_mean(result: &ExperimentResult, metric: &str) -> Option<f64> {
+    let values: Vec<f64> = result
+        .cases
+        .iter()
+        .flat_map(|c| c.metric_values(metric))
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// `fig1_path`'s gate scalars: the fraction of all runs delivering within
+/// the paper's worst-case `2n` deadline (Theorem 21 — must stay 1.0).
+fn gate_fig1_path(result: &ExperimentResult) -> Vec<GateScalar> {
+    measurement_mean(result, "within_2n")
+        .map(|rate| GateScalar::new("within_2n_rate", rate))
+        .into_iter()
+        .collect()
+}
+
+/// `table1_lower`'s gate scalars: Theorem 2's leader-election slot counts
+/// and election success rate per protocol — the measured side of the
+/// energy lower bound `E ≥ T_LE / 2`.
+fn gate_table1_lower(result: &ExperimentResult) -> Vec<GateScalar> {
+    let mut scalars = Vec::new();
+    for protocol in ["decay", "uniform"] {
+        let cases: Vec<&Case> = result
+            .cases
+            .iter()
+            .filter(|c| {
+                c.params
+                    .iter()
+                    .any(|(k, v)| *k == "protocol" && *v == Json::Str(protocol.into()))
+            })
+            .collect();
+        for metric in ["le_slots", "elected"] {
+            let values: Vec<f64> = cases.iter().flat_map(|c| c.metric_values(metric)).collect();
+            if !values.is_empty() {
+                scalars.push(GateScalar::new(
+                    format!("{metric}_mean_{protocol}"),
+                    values.iter().sum::<f64>() / values.len() as f64,
+                ));
+            }
+        }
+    }
+    scalars
 }
 
 /// What one experiment run produced: the parameter-point cases plus any
@@ -75,8 +194,10 @@ pub struct ExperimentResult {
 }
 
 /// The JSON schema version stamped into every emitted file. Bump on any
-/// backwards-incompatible change to the document layout.
-pub const SCHEMA_VERSION: u32 = 1;
+/// backwards-incompatible change to the document layout. (v2: baseline
+/// documents gained `scalars` and all-param case keys; scaling fits
+/// gained `exponent_ci` / `class_agreement` / `class_confident`.)
+pub const SCHEMA_VERSION: u32 = 2;
 
 impl ExperimentResult {
     /// Serializes the full result document (`BENCH_<name>.json` payload).
@@ -505,6 +626,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "LOCAL: O(n log n) time, O(log n) energy | No-CD: O(n logΔ log²n), O(logΔ log²n) | CD: O(log²n/(ε loglog n)) energy",
         note: "times grow ~linearly in n; energies grow polylog (compare log²n)",
         run: run_table1_randomized,
+        gate: None,
     },
     ExperimentSpec {
         name: "table1_dtime",
@@ -512,6 +634,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "O(D^{1+ε} log^{O(1/ε)} n) time vs Theorem 11's O(n logΔ log²n); on grids D = 2√n ≪ n",
         note: "Theorem 11's time scales with n, Theorem 16's with D·polylog — the gap widens as the grid grows",
         run: run_table1_dtime,
+        gate: None,
     },
     ExperimentSpec {
         name: "table1_bounded",
@@ -519,6 +642,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "O(n log n) time, O(log n) energy on bounded-degree graphs",
         note: "Corollary 13's energy grows like log n and undercuts the generic No-CD pipeline",
         run: run_table1_bounded,
+        gate: None,
     },
     ExperimentSpec {
         name: "table1_lower",
@@ -526,6 +650,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "energy ≥ T_LE(Δ, f)/2: Ω(log n) in CD, Ω(logΔ log n) in No-CD",
         note: "No-CD election time grows with log k; CD stays near-flat (loglog k); broadcast energy dominates the bound",
         run: run_table1_lower,
+        gate: Some(gate_table1_lower),
     },
     ExperimentSpec {
         name: "table1_cdfast",
@@ -533,6 +658,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "O(log n (loglogΔ + 1/ξ)/logloglogΔ) energy at O(Δ n^{1+ξ}) time",
         note: "Theorem 20 buys lower energy with (much) more time, per the paper's tradeoff",
         run: run_table1_cdfast,
+        gate: None,
     },
     ExperimentSpec {
         name: "table1_det",
@@ -540,6 +666,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "LOCAL: O(n log n log N) time, O(log n log N) energy | CD: O(nN² log n log N) time, O(log³N log n) energy",
         note: "both deterministic energies grow polylog; Theorem 27's clock is polynomial (N² factor)",
         run: run_table1_det,
+        gate: None,
     },
     ExperimentSpec {
         name: "fig1_path",
@@ -547,6 +674,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "worst-case time 2n, expected per-vertex energy O(log n)",
         note: "time stays under 2n at every size; mean energy tracks log n",
         run: run_fig1_path,
+        gate: Some(gate_fig1_path),
     },
     ExperimentSpec {
         name: "ablation",
@@ -554,6 +682,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "decay: O(logΔ log 1/f) receiver energy vs CD transform: O(loglogΔ + log 1/f); Partition(β): edge-cut ≤ 2β, diameter ×3β",
         note: "measured cut fractions sit under 2β; cluster-graph diameters under 3βD",
         run: run_ablation,
+        gate: None,
     },
     ExperimentSpec {
         name: "baseline_gap",
@@ -561,6 +690,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "BGI energy grows Θ(D); Theorem 11's grows polylog",
         note: "doubling n doubles BGI's energy; Theorem 11's is nearly flat (asymptotic claim, large constants)",
         run: run_baseline_gap,
+        gate: None,
     },
     ExperimentSpec {
         name: "scenario_matrix",
@@ -568,6 +698,7 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
         paper: "Table 1 as a whole: each algorithm's time/energy row holds in exactly its models; incompatible pairs are skipped and counted",
         note: "all_informed is 1.0 everywhere; energy ranks baselines ≫ randomized ≫ LOCAL rows, per family",
         run: crate::scenario::run_scenario_matrix,
+        gate: None,
     },
 ];
 

@@ -14,11 +14,15 @@
 //!   incompatible pairs counted in the emitted JSON and per-cell
 //!   wall-clock budgets truncating runaway n-sweeps.
 //! * [`analysis`] — log-log scaling fits across the matrix's n axis:
-//!   exponent, R², and a polylog-vs-polynomial growth classification per
-//!   `(algorithm, family, model)` cell, emitted as
-//!   `BENCH_scaling_fits.json`.
-//! * [`baseline`] — checked-in baselines under `bench-baselines/` and the
-//!   `--check-against` regression gate diffing summaries *and* exponents.
+//!   exponent, R², bootstrap exponent CIs, and a polylog-vs-polynomial
+//!   growth classification per `(algorithm, family, model)` cell, emitted
+//!   as `BENCH_scaling_fits.json`.
+//! * [`stats`] — the statistics layer under the fits: a deterministic
+//!   splitmix-seeded resampler, percentile confidence intervals, and the
+//!   seed-level bootstrap driver.
+//! * [`baseline`] — checked-in baselines under `bench-baselines/` (one
+//!   per registered experiment) and the `--check-against` regression gate
+//!   diffing summaries, gate scalars, *and* exponent CIs.
 //! * [`json`] — the dependency-free JSON document model the results
 //!   serialize through (schema-stable field order), with a parser for
 //!   reading baselines back.
@@ -39,6 +43,7 @@ pub mod json;
 pub mod measure;
 pub mod report;
 pub mod scenario;
+pub mod stats;
 
 pub use experiments::{
     find_experiment, run_experiment, ExperimentOutput, ExperimentResult, ExperimentSpec,

@@ -13,17 +13,20 @@
 //! `BENCH_<experiment>.json` to the output directory (the scenario matrix
 //! additionally writes `BENCH_scaling_fits.json`).
 //!
-//! `--check-against <dir>` turns the run into a regression gate: the
-//! scenario matrix is re-run and its summary means and fitted scaling
-//! exponents are diffed against the checked-in baselines under `<dir>`,
-//! exiting nonzero on any out-of-tolerance drift. `--update-baselines`
-//! refreshes `bench-baselines/` in one step. Both force an unlimited
+//! `--check-against <dir>` turns the run into a regression gate over
+//! **every selected experiment** (all of them by default): each is
+//! re-run and its summary means, gate scalars, and fitted scaling
+//! exponents (by bootstrap-CI overlap) are diffed against the checked-in
+//! `<dir>/<experiment>.json`, exiting nonzero on any out-of-tolerance
+//! drift and writing a per-experiment `BENCH_gate_report.json` to the
+//! output directory. `--update-baselines` refreshes the whole
+//! `bench-baselines/` directory in one step. Both force an unlimited
 //! per-cell budget so the gated case set never depends on machine speed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ebc_bench::baseline::{self, Tolerances};
+use ebc_bench::baseline::{self, GateOutcome, Tolerances};
 use ebc_bench::measure::UNLIMITED_BUDGET_MS;
 use ebc_bench::{
     find_experiment, report_and_write, run_experiment, ExperimentSpec, RunConfig, EXPERIMENTS,
@@ -59,11 +62,13 @@ Options:
   --budget-ms <N>        Scenario matrix: wall-clock budget per (algorithm,
                          family, model) cell before its n-sweep truncates
                          (0 = first size only; default 250 quick / 2000 full)
-  --check-against <DIR>  Regression gate: run the scenario matrix and diff
-                         summary means + scaling exponents against the
-                         baselines in <DIR>; exit nonzero on drift
-  --update-baselines     Rewrite bench-baselines/ from a fresh quick
-                         scenario-matrix run, then exit
+  --check-against <DIR>  Regression gate: run every selected experiment
+                         (default: all) and diff summary means, gate
+                         scalars, and scaling-exponent CIs against
+                         <DIR>/<experiment>.json; writes
+                         BENCH_gate_report.json and exits nonzero on drift
+  --update-baselines     Rewrite bench-baselines/ (one file per registered
+                         experiment) from fresh quick runs, then exit
   --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
   --threads <N>          Worker threads for seed sweeps (default: all cores)
   -h, --help             Show this help
@@ -128,12 +133,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Runs the scenario matrix with an unlimited budget (gate runs must not
-/// depend on machine speed) and returns the result.
-fn gated_matrix_run(config: &RunConfig) -> ebc_bench::ExperimentResult {
+/// Runs `spec` with an unlimited cell budget (gate runs and baseline
+/// refreshes must not depend on machine speed; only the scenario matrix
+/// reads the budget, so this is a no-op for the other experiments).
+fn gated_run(spec: &'static ExperimentSpec, config: &RunConfig) -> ebc_bench::ExperimentResult {
     let mut config = config.clone();
     config.budget_ms = Some(UNLIMITED_BUDGET_MS);
-    let spec = find_experiment("scenario_matrix").expect("registered");
     run_experiment(spec, &config)
 }
 
@@ -165,25 +170,27 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        // Baselines gate the CI quick matrix, so the refresh pins quick
+        // Baselines gate the CI quick runs, so the refresh pins quick
         // mode regardless of the other flags.
         let mut config = args.config.clone();
         config.quick = true;
-        let result = gated_matrix_run(&config);
-        return match baseline::write_baseline(std::path::Path::new(BASELINE_DIR), &result) {
-            Ok(path) => {
-                println!(
-                    "wrote {} ({} cases) — commit it to refresh the gate",
-                    path.display(),
-                    result.cases.len()
-                );
-                ExitCode::SUCCESS
+        for spec in EXPERIMENTS {
+            let result = gated_run(spec, &config);
+            match baseline::write_baseline(std::path::Path::new(BASELINE_DIR), &result) {
+                Ok(path) => {
+                    println!("wrote {} ({} cases)", path.display(), result.cases.len());
+                }
+                Err(e) => {
+                    eprintln!("error: writing baselines for {}: {e}", spec.name);
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("error: writing baselines: {e}");
-                ExitCode::FAILURE
-            }
-        };
+        }
+        println!(
+            "refreshed {BASELINE_DIR}/ for {} experiments — commit to update the gate",
+            EXPERIMENTS.len()
+        );
+        return ExitCode::SUCCESS;
     }
 
     let selected: Vec<&'static ExperimentSpec> = if args.experiments.is_empty() {
@@ -207,14 +214,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // The gate re-runs the matrix itself (with the budget pinned), so a
-    // bare `--check-against` needs no --experiment selection.
-    let mut gate_result = None;
+    // With `--check-against` every selected run doubles as its own gate
+    // run (budget pinned so the case set is machine-independent).
+    let mut outcomes: Vec<GateOutcome> = Vec::new();
     for spec in selected {
-        let run_for_gate = args.check_against.is_some() && spec.name == "scenario_matrix";
         let started = std::time::Instant::now();
-        let result = if run_for_gate {
-            gated_matrix_run(&args.config)
+        let result = if args.check_against.is_some() {
+            gated_run(spec, &args.config)
         } else {
             run_experiment(spec, &args.config)
         };
@@ -229,44 +235,62 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        if run_for_gate {
-            gate_result = Some(result);
+        if let Some(dir) = &args.check_against {
+            outcomes.push(GateOutcome {
+                experiment: spec.name,
+                report: baseline::check_against(dir, &result, &Tolerances::default()),
+            });
         }
     }
 
     if let Some(dir) = &args.check_against {
-        let result = match gate_result {
-            Some(r) => r,
-            None => gated_matrix_run(&args.config),
-        };
-        let report = match baseline::check_against(dir, &result, &Tolerances::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        for note in &report.notes {
-            println!("note: {note}");
+        let report_path = args.out_dir.join("BENCH_gate_report.json");
+        if let Err(e) = std::fs::write(
+            &report_path,
+            baseline::gate_report_doc(dir, &outcomes).to_string_pretty(),
+        ) {
+            eprintln!("error: writing {}: {e}", report_path.display());
+            return ExitCode::FAILURE;
         }
-        if report.passed() {
-            println!(
-                "baseline gate PASSED against {} ({} cases checked)",
-                dir.display(),
-                result.cases.len()
-            );
-        } else {
-            eprintln!("baseline gate FAILED against {}:", dir.display());
-            for r in &report.regressions {
-                eprintln!("  regression: {r}");
+        println!("wrote {}", report_path.display());
+        let mut failed = 0usize;
+        for outcome in &outcomes {
+            match &outcome.report {
+                Ok(report) => {
+                    for note in &report.notes {
+                        println!("note: {}: {note}", outcome.experiment);
+                    }
+                    if report.passed() {
+                        println!("gate PASSED: {}", outcome.experiment);
+                    } else {
+                        eprintln!("gate FAILED: {}", outcome.experiment);
+                        for r in &report.regressions {
+                            eprintln!("  regression: {r}");
+                        }
+                        failed += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("gate FAILED: {}: {e}", outcome.experiment);
+                    failed += 1;
+                }
             }
+        }
+        if failed > 0 {
             eprintln!(
-                "  ({} regressions; if intentional, refresh with \
-                 `cargo run -p ebc-bench -- --update-baselines` and commit)",
-                report.regressions.len()
+                "baseline gate FAILED against {} ({failed}/{} experiments; if \
+                 intentional, refresh with `cargo run -p ebc-bench -- \
+                 --update-baselines` and commit)",
+                dir.display(),
+                outcomes.len()
             );
             return ExitCode::FAILURE;
         }
+        println!(
+            "baseline gate PASSED against {} ({} experiments checked)",
+            dir.display(),
+            outcomes.len()
+        );
     }
     ExitCode::SUCCESS
 }

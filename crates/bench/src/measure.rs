@@ -37,12 +37,25 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// The seed count to use when a case defaults to `full` seeds
-    /// (quick mode halves it, to a floor of one).
+    /// The floor quick-mode seed scaling never goes below: two seeds when
+    /// the experiment has at least two to give, else whatever it has.
+    ///
+    /// A single seed makes every seed-level bootstrap CI degenerate
+    /// (zero-width at the point estimate), which would let the CI-overlap
+    /// gate wave through genuinely noisy drifts — so quick mode keeps two
+    /// seeds alive wherever full mode has them.
+    fn quick_seed_floor(full: u64) -> u64 {
+        full.clamp(1, 2)
+    }
+
+    /// The seed count to use when a case defaults to `full` seeds (quick
+    /// mode halves it, to the [two-seed floor]).
+    ///
+    /// [two-seed floor]: RunConfig::quick_seed_floor
     pub fn seeds_for(&self, full: u64) -> u64 {
         let base = self.seeds.unwrap_or(full);
         if self.quick && self.seeds.is_none() {
-            (base / 2).max(1)
+            (base / 2).max(Self::quick_seed_floor(base))
         } else {
             base.max(1)
         }
@@ -52,21 +65,28 @@ impl RunConfig {
     /// size is `n_base` and whose full-mode default is `full` seeds.
     ///
     /// In quick mode (with no explicit `--seeds` override) the count
-    /// halves for every doubling of `n` past `n_base`, to a floor of one —
-    /// without this the largest sizes dominate a quick sweep's wall-clock,
-    /// since per-run cost itself grows with `n`. Full mode and pinned seed
-    /// counts are unaffected.
+    /// halves for every doubling of `n` past `n_base`, down to the
+    /// [two-seed floor] — without the halving the largest sizes dominate a
+    /// quick sweep's wall-clock (per-run cost itself grows with `n`);
+    /// without the floor the bootstrap CIs collapse. Monotone
+    /// non-increasing in `n`. Full mode and pinned seed counts are
+    /// unaffected.
+    ///
+    /// [two-seed floor]: RunConfig::quick_seed_floor
     pub fn seeds_for_size(&self, full: u64, n: usize, n_base: usize) -> u64 {
         let mut seeds = self.seeds_for(full);
         if !self.quick || self.seeds.is_some() {
             return seeds;
         }
+        let floor = Self::quick_seed_floor(full);
         let mut scale = n_base.max(1);
-        while scale.saturating_mul(2) <= n && seeds > 1 {
+        // saturating: at the largest sizes `scale` would otherwise
+        // overflow `usize` before the seed floor stops the loop.
+        while scale.saturating_mul(2) <= n && seeds > floor {
             seeds /= 2;
-            scale *= 2;
+            scale = scale.saturating_mul(2);
         }
-        seeds.max(1)
+        seeds.max(floor)
     }
 
     /// The wall-clock budget one scenario-matrix cell (one `(algorithm,
@@ -233,6 +253,16 @@ impl Case {
         }
     }
 
+    /// The per-seed values of metric `name`, in seed order (seeds that
+    /// did not record the metric are skipped). The raw sample the
+    /// seed-level bootstrap resamples.
+    pub fn metric_values(&self, name: &str) -> Vec<f64> {
+        self.measurements
+            .iter()
+            .filter_map(|m| m.metric(name))
+            .collect()
+    }
+
     /// Serializes the case (params, summary, then raw measurements).
     pub fn to_json(&self) -> Json {
         let mut params = Json::obj();
@@ -383,12 +413,12 @@ mod tests {
             ..RunConfig::default()
         };
         // Base 8 seeds at the smallest size (quick halves 16 → 8), then a
-        // halving per doubling of n.
+        // halving per doubling of n, down to the two-seed floor.
         assert_eq!(quick.seeds_for_size(16, 64, 64), 8);
         assert_eq!(quick.seeds_for_size(16, 128, 64), 4);
         assert_eq!(quick.seeds_for_size(16, 256, 64), 2);
-        assert_eq!(quick.seeds_for_size(16, 512, 64), 1);
-        assert_eq!(quick.seeds_for_size(16, 4096, 64), 1, "floor of one");
+        assert_eq!(quick.seeds_for_size(16, 512, 64), 2, "floor of two");
+        assert_eq!(quick.seeds_for_size(16, 4096, 64), 2, "floor of two");
         // Full mode never scales.
         let full = RunConfig::default();
         assert_eq!(full.seeds_for_size(16, 4096, 64), 16);
@@ -399,6 +429,49 @@ mod tests {
             ..RunConfig::default()
         };
         assert_eq!(pinned.seeds_for_size(16, 512, 64), 6);
+    }
+
+    #[test]
+    fn seeds_for_size_is_monotone_with_a_minimum_floor() {
+        // The satellite contract: non-increasing in n, never below the
+        // floor (2 where full mode has ≥ 2 seeds, else full's own count),
+        // and total-function over degenerate inputs — including the
+        // largest representable n, where the doubling scale used to
+        // overflow `usize` in debug builds.
+        let quick = RunConfig {
+            quick: true,
+            ..RunConfig::default()
+        };
+        for full in [0u64, 1, 2, 3, 5, 16] {
+            let floor = full.clamp(1, 2);
+            let mut prev = u64::MAX;
+            for n in [16usize, 32, 64, 128, 256, 1 << 20, usize::MAX] {
+                let s = quick.seeds_for_size(full, n, 16);
+                assert!(s <= prev, "full={full}: not monotone at n={n}");
+                assert!(s >= floor, "full={full}: below floor at n={n}");
+                prev = s;
+            }
+            // The largest full-mode n must agree with the floor once the
+            // halving has bottomed out.
+            assert_eq!(quick.seeds_for_size(full, usize::MAX, 16), floor);
+        }
+        // n below n_base, and n_base = 0, never scale or panic.
+        assert_eq!(quick.seeds_for_size(16, 8, 16), 8);
+        assert_eq!(quick.seeds_for_size(16, 0, 0), 8);
+        // A single-seed experiment stays single-seed — the floor never
+        // invents seeds full mode doesn't have.
+        assert_eq!(quick.seeds_for_size(1, 1 << 20, 16), 1);
+    }
+
+    #[test]
+    fn metric_values_extract_the_raw_seed_sample() {
+        let ms = sweep_seeds(4, |seed| vec![("t", seed as f64)]);
+        let case = Case::new(vec![("n", 16usize.into())], ms);
+        assert_eq!(
+            case.metric_values("t"),
+            vec![1000.0, 1001.0, 1002.0, 1003.0]
+        );
+        assert!(case.metric_values("missing").is_empty());
     }
 
     #[test]
@@ -431,6 +504,9 @@ mod tests {
         };
         assert_eq!(quick.seeds_for(10), 5);
         assert_eq!(quick.seeds_for(1), 1);
+        // Halving stops at two seeds so bootstrap CIs stay non-degenerate.
+        assert_eq!(quick.seeds_for(2), 2);
+        assert_eq!(quick.seeds_for(3), 2);
         let pinned = RunConfig {
             seeds: Some(7),
             quick: true,

@@ -15,8 +15,11 @@
 //! sizes are dropped — tallied under `skip_counts.skipped_budget`, with
 //! every case of the cut-short cell carrying a `truncated: true` param so
 //! downstream fits know the axis is incomplete. Scaling fits across each
-//! cell's n axis ([`crate::analysis`]) are emitted as a top-level `fits`
-//! section.
+//! cell's n axis ([`crate::analysis`]) — including the seed-level
+//! bootstrap `exponent_ci` / `class_confident` fields the CI-overlap
+//! gate diffs ([`crate::stats`]) — are emitted as a top-level `fits`
+//! section; quick mode keeps at least two seeds per point
+//! ([`RunConfig::seeds_for_size`]) so those CIs never degenerate.
 //!
 //! The emitted `BENCH_scenario_matrix.json` carries the skip accounting as
 //! top-level fields (`skip_counts`, `skipped_pairs`) next to the usual
@@ -486,6 +489,35 @@ mod tests {
             emax.get("class").unwrap().as_str() != Some("insufficient-points"),
             "4 n-points must produce a classified fit"
         );
+        // The emitted fit carries its bootstrap CI, bracketing the point
+        // estimate — what the CI-overlap gate diffs.
+        let ci = crate::analysis::ci_from_json(emax.get("exponent_ci"))
+            .expect("fitted cell without exponent_ci");
+        assert!(ci.0 <= exponent && exponent <= ci.1, "{ci:?} vs {exponent}");
+        assert!(matches!(emax.get("class_confident"), Some(Json::Bool(_))));
+    }
+
+    #[test]
+    fn quick_matrix_sweeps_at_least_two_seeds_per_case() {
+        // The bootstrap's precondition: no --seeds pin in quick mode must
+        // still leave ≥ 2 measurements per case, or every CI degenerates.
+        let out = run_scenario_matrix(&RunConfig {
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("cycle".into()),
+            model: Some("local".into()),
+            algo: Some("theorem11".into()),
+            ..RunConfig::default()
+        });
+        assert!(!out.cases.is_empty());
+        for case in &out.cases {
+            assert!(
+                case.measurements.len() >= 2,
+                "only {} seeds in {:?}",
+                case.measurements.len(),
+                case.params
+            );
+        }
     }
 
     #[test]

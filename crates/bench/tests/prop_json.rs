@@ -1,0 +1,105 @@
+//! Property tests on the hand-rolled JSON layer: `Json::parse` must
+//! invert the serializer over the whole document space the harness can
+//! emit — nested arrays/objects, escaped strings (quotes, backslashes,
+//! control characters, unicode), both number flavors, and the documented
+//! non-finite-float normalization (`NaN`/`±inf` serialize as `null`).
+//!
+//! The baseline gate *parses its own emissions back*, so any value the
+//! serializer can produce but the parser mangles would silently corrupt
+//! the gate.
+
+use ebc_bench::json::Json;
+use proptest::prelude::*;
+
+/// Splitmix-style step for the deterministic document builder.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A string exercising the escaper: plain ASCII, quotes, backslashes,
+/// newlines/tabs, raw control characters, and multi-byte unicode.
+fn arb_string(state: &mut u64) -> String {
+    const ALPHABET: &[&str] = &[
+        "a", "Z", "0", " ", "\"", "\\", "\n", "\r", "\t", "\u{8}", "\u{c}", "\u{1}", "\u{1f}", "é",
+        "∆", "エ", "/", "{", "]", ":", ",",
+    ];
+    let len = (mix(state) % 12) as usize;
+    (0..len)
+        .map(|_| ALPHABET[(mix(state) as usize) % ALPHABET.len()])
+        .collect()
+}
+
+/// A finite float (re-rolls the odd non-finite bit pattern).
+fn arb_finite_f64(state: &mut u64) -> f64 {
+    loop {
+        let x = f64::from_bits(mix(state));
+        if x.is_finite() {
+            return x;
+        }
+    }
+}
+
+/// An arbitrary document of bounded depth. Leaves at depth 0.
+fn arb_json(state: &mut u64, depth: u32) -> Json {
+    let choice = mix(state) % if depth == 0 { 5 } else { 7 };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(mix(state) % 2 == 0),
+        2 => Json::Int(mix(state) as i64),
+        3 => Json::Num(arb_finite_f64(state)),
+        4 => Json::Str(arb_string(state)),
+        5 => {
+            let len = (mix(state) % 4) as usize;
+            Json::Arr((0..len).map(|_| arb_json(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (mix(state) % 4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|_| (arb_string(state), arb_json(state, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_inverts_emit_over_arbitrary_documents(seed in any::<u64>()) {
+        let mut state = seed;
+        let doc = arb_json(&mut state, 3);
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted unparseable JSON ({e}):\n{text}"));
+        prop_assert_eq!(&parsed, &doc, "round trip changed the document:\n{}", text);
+        // And re-serialization is byte-identical — the property that keeps
+        // checked-in baselines diff-stable.
+        prop_assert_eq!(parsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn nonfinite_floats_normalize_to_null(seed in any::<u64>()) {
+        // The documented lossy edge: non-finite numbers serialize as
+        // `null` (as serde_json does in lossy mode), so they come back as
+        // Json::Null — never as a parse error or a mangled number.
+        let mut state = seed;
+        let x = match mix(&mut state) % 3 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let doc = Json::Obj(vec![
+            ("bad".to_string(), Json::Num(x)),
+            ("good".to_string(), Json::Num(arb_finite_f64(&mut state))),
+        ]);
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        prop_assert_eq!(parsed.get("bad"), Some(&Json::Null));
+        prop_assert!(parsed.get("good").unwrap().as_f64().is_some());
+    }
+}

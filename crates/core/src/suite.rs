@@ -348,6 +348,50 @@ mod tests {
     }
 
     #[test]
+    fn registry_conformance_every_algorithm_model_family() {
+        // The permanent cross-product conformance sweep: every registered
+        // algorithm, under every model it claims to support, on every
+        // compatible family at n = 16, must inform all nodes and meter
+        // energy. This is the test shape that caught Theorem 20's CD*
+        // bug (its §7.2 elections need the λN noise signal) after the
+        // fact — any new algorithm or family joins the sweep
+        // automatically.
+        let mut combinations = 0usize;
+        for alg in ALGORITHMS {
+            for &model in alg.supported_models() {
+                for family in Family::ALL {
+                    let instance = family.instance(16, 0xc0f0);
+                    if !alg.supports_graph(&instance.graph) {
+                        continue;
+                    }
+                    combinations += 1;
+                    let mut sim = Sim::new(instance.graph, model, 42);
+                    let out = alg.run(&mut sim, 0);
+                    assert!(
+                        out.all_informed(),
+                        "{} under {:?} on {} (n={}) left nodes uninformed",
+                        alg.name(),
+                        model,
+                        family.name(),
+                        sim.graph().n(),
+                    );
+                    assert!(
+                        sim.meter().total_energy() > 0,
+                        "{} under {:?} on {} metered no energy",
+                        alg.name(),
+                        model,
+                        family.name(),
+                    );
+                }
+            }
+        }
+        // The sweep must be substantial: ≥ 10 algorithms × ≥ 1 model ×
+        // several families each. Guards against a silent registry or
+        // family-list regression emptying the loop.
+        assert!(combinations >= 100, "only {combinations} combinations ran");
+    }
+
+    #[test]
     fn path_adapter_merges_engine_energy_into_sim() {
         let mut sim = Sim::new(path(32), Model::Local, 3);
         let out = PathAlgorithm.run(&mut sim, 0);

@@ -523,6 +523,90 @@ mod tests {
     }
 
     #[test]
+    fn run_scheduled_is_equivalent_to_the_dense_loop_on_a_relay_chain() {
+        // A multi-hop relay on the path 0–1–…–5: node v transmits in slot
+        // 3v once informed, node v+1 listens there; every other slot is
+        // provably idle. Driven (a) slot-by-slot through `Sim::run` with
+        // an explicitly idle behavior off-schedule and (b) sparsely
+        // through `run_scheduled`, the two runs must agree on the final
+        // informed set, every per-node energy, the total, the clock, and
+        // the last active slot — with the whole difference showing up in
+        // `idle_skipped` accounting.
+        const N: usize = 6;
+        const SLOTS: u64 = 3 * (N as u64 - 1) + 1;
+        struct Relay {
+            informed: Vec<bool>,
+        }
+        impl Relay {
+            // The only possibly-active slots: sender v and listener v+1
+            // in slot 3v.
+            fn roles(t: u64) -> Option<(NodeId, NodeId)> {
+                (t % 3 == 0 && (t / 3) as usize + 1 < N)
+                    .then(|| ((t / 3) as usize, (t / 3) as usize + 1))
+            }
+        }
+        impl SlotBehavior<u8> for Relay {
+            fn act(&mut self, v: NodeId, t: u64) -> Action<u8> {
+                match Relay::roles(t) {
+                    Some((sender, _)) if v == sender && self.informed[v] => Action::Send(7),
+                    Some((_, listener)) if v == listener => Action::Listen,
+                    _ => Action::Idle,
+                }
+            }
+            fn feedback(&mut self, v: NodeId, _t: u64, fb: Feedback<u8>) {
+                if matches!(fb, Feedback::One(7)) {
+                    self.informed[v] = true;
+                }
+            }
+        }
+        let path =
+            || Graph::from_edges(N, &(0..N - 1).map(|v| (v, v + 1)).collect::<Vec<_>>()).unwrap();
+        let fresh = || Relay {
+            informed: std::iter::once(true).chain((1..N).map(|_| false)).collect(),
+        };
+
+        let mut dense_sim = Sim::new(path(), Model::NoCd, 0);
+        let mut dense = fresh();
+        let all: Vec<NodeId> = (0..N).collect();
+        dense_sim.run(&all, SLOTS, &mut dense);
+
+        let mut sparse_sim = Sim::new(path(), Model::NoCd, 0);
+        let mut sparse = fresh();
+        let schedule: Vec<(u64, Vec<NodeId>)> = (0..SLOTS)
+            .filter_map(|t| Relay::roles(t).map(|(s, l)| (t, vec![s, l])))
+            .collect();
+        sparse_sim.run_scheduled(&schedule, SLOTS, &mut sparse);
+
+        // The relay reached the far end both ways.
+        assert_eq!(dense.informed, vec![true; N]);
+        assert_eq!(sparse.informed, dense.informed, "informed sets differ");
+        // Exact energy equivalence, node by node.
+        for v in 0..N {
+            assert_eq!(
+                dense_sim.meter().energy(v),
+                sparse_sim.meter().energy(v),
+                "node {v} energy differs"
+            );
+        }
+        assert_eq!(
+            dense_sim.meter().total_energy(),
+            sparse_sim.meter().total_energy()
+        );
+        assert_eq!(dense_sim.now(), sparse_sim.now());
+        assert_eq!(
+            dense_sim.meter().last_active(),
+            sparse_sim.meter().last_active()
+        );
+        // idle_skipped accounts exactly for the unscheduled slots: the
+        // dense loop simulated all of them, the sparse loop none.
+        assert_eq!(dense_sim.meter().idle_skipped(), 0);
+        assert_eq!(
+            sparse_sim.meter().idle_skipped(),
+            SLOTS - schedule.len() as u64
+        );
+    }
+
+    #[test]
     fn run_scheduled_batches_trailing_and_leading_gaps() {
         let mut sim = Sim::new(star(1), Model::Cd, 0);
         let mut b = from_fns(|_, _| Action::Send(1u8), |_, _, _| {});
