@@ -1,0 +1,49 @@
+//! Ad-hoc wall-clock probe for the headline large-n cells.
+//!
+//! `cargo run --release -p ebc-bench --example scale_probe [n...]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ebc_core::suite::by_name;
+use ebc_graphs::families::Family;
+use ebc_radio::{Model, Sim};
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("size"))
+        .collect();
+    let sizes = if sizes.is_empty() {
+        vec![4096, 65536, 1048575]
+    } else {
+        sizes
+    };
+    let cells = [
+        ("naive_flood", Model::Local),
+        ("theorem11", Model::Local),
+        ("theorem12", Model::Cd),
+    ];
+    for &n in &sizes {
+        let t0 = Instant::now();
+        let graph = Arc::new(Family::BinaryTree.instance(n, 0xebc0 + n as u64).graph);
+        println!(
+            "n={} built ({} vertices) in {:?}",
+            n,
+            graph.n(),
+            t0.elapsed()
+        );
+        for (name, model) in cells {
+            let alg = by_name(name).unwrap();
+            let t0 = Instant::now();
+            let mut sim = Sim::new(Arc::clone(&graph), model, 1000);
+            let out = alg.run(&mut sim, 0);
+            println!(
+                "  {name:<12} n={n} time={:?} informed={} slots={}",
+                t0.elapsed(),
+                out.all_informed(),
+                sim.now()
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Ad-hoc probe: cost of one big CD SR round and its setup pieces.
+//!
+//! `cargo run --release -p ebc-bench --example sr_probe`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ebc_core::srcomm::Sr;
+use ebc_core::util::{IdIndex, NodeRngs};
+use ebc_graphs::families::Family;
+use ebc_radio::{Model, NodeId, Sim};
+
+fn main() {
+    let graph = Arc::new(Family::BinaryTree.instance(131071, 0xebc0).graph);
+    let n = graph.n();
+    let mut sim = Sim::new(Arc::clone(&graph), Model::Cd, 0);
+    let mut rngs = NodeRngs::new(1, n, 7);
+    let sr = Sr::CdTransform {
+        delta: 3,
+        epochs: 46,
+        relevance_check: true,
+    };
+    let senders: Vec<(NodeId, u32)> = (0..n).step_by(2).map(|v| (v, 1u32)).collect();
+    let receivers: Vec<NodeId> = (1..n).step_by(2).collect();
+
+    let t0 = Instant::now();
+    let reps = 20;
+    for _ in 0..reps {
+        let got = sr.run(&mut sim, &senders, &receivers, &mut rngs);
+        std::hint::black_box(got.len());
+    }
+    println!(
+        "sr.run (|S|={} |R|={}): {:?}/round",
+        senders.len(),
+        receivers.len(),
+        t0.elapsed() / reps
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let idx = IdIndex::new(senders.iter().map(|(v, _)| *v));
+        std::hint::black_box(idx.len());
+    }
+    println!("IdIndex::new(65k sorted): {:?}", t0.elapsed() / reps);
+
+    // Component costs at the poll scale of one big round (~6M polls).
+    let polls = 6_000_000u64;
+    let send_index = IdIndex::new(senders.iter().map(|(v, _)| *v));
+    let t0 = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..polls {
+        acc = acc.wrapping_add(
+            send_index
+                .get(((i * 2) % n as u64) as usize)
+                .unwrap_or(usize::MAX),
+        );
+    }
+    std::hint::black_box(acc);
+    println!("IdIndex.get x{polls}: {:?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    {
+        use rand::Rng;
+        for i in 0..polls {
+            let v = ((i * 2) % n as u64) as usize;
+            if rngs.get(v).gen_bool(0.25) {
+                hits += 1;
+            }
+        }
+    }
+    std::hint::black_box(hits);
+    println!("rngs.get+gen_bool x{polls}: {:?}", t0.elapsed());
+
+    // Raw engine cost: same wake pattern, trivial behavior (all senders
+    // wake every slot, no receivers).
+    let all: Vec<NodeId> = (0..n).collect();
+    let mut beh = ebc_radio::from_fns(
+        |_v, _t| ebc_radio::Action::Send(1u8),
+        |_v, _t, _fb: ebc_radio::Feedback<u8>| {},
+    );
+    let t0 = Instant::now();
+    sim.drive(
+        ebc_radio::Schedule::Dense {
+            participants: &all,
+            slots: 46,
+        },
+        &mut beh,
+    );
+    println!(
+        "dense all-send 46 slots ({} polls): {:?}",
+        46 * n,
+        t0.elapsed()
+    );
+
+    // A second shape: few senders, many receivers (early down rounds).
+    let senders2: Vec<(NodeId, u32)> = (0..64).map(|v| (v, 1u32)).collect();
+    let receivers2: Vec<NodeId> = (64..n).collect();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let got = sr.run(&mut sim, &senders2, &receivers2, &mut rngs);
+        std::hint::black_box(got.len());
+    }
+    println!(
+        "sr.run (|S|=64 |R|={}): {:?}/round",
+        receivers2.len(),
+        t0.elapsed() / reps
+    );
+    println!("clock {}", sim.now());
+}

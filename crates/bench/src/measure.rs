@@ -100,12 +100,33 @@ impl RunConfig {
         });
         std::time::Duration::from_millis(ms)
     }
+
+    /// The per-cell budget for the *headline* cells — the flagship
+    /// `(algorithm, family, model)` combinations whose n axis extends to
+    /// the paper's million-node scale. Large enough that the default
+    /// quick run reaches `n = 10^6` without truncating; an explicit
+    /// `--budget-ms` still overrides it like any other cell.
+    pub fn headline_cell_budget(&self) -> std::time::Duration {
+        let ms = self.budget_ms.unwrap_or(if self.quick {
+            DEFAULT_QUICK_HEADLINE_BUDGET_MS
+        } else {
+            DEFAULT_FULL_HEADLINE_BUDGET_MS
+        });
+        std::time::Duration::from_millis(ms)
+    }
 }
 
 /// Default per-cell budget in quick (CI smoke) mode.
 pub const DEFAULT_QUICK_BUDGET_MS: u64 = 250;
 /// Default per-cell budget in full mode.
 pub const DEFAULT_FULL_BUDGET_MS: u64 = 2_000;
+/// Default headline-cell budget in quick mode. Sizing rule: a cell runs
+/// its next size whenever the budget is not yet exhausted, so this must
+/// exceed the headline cells' cumulative cost *below* the top size (the
+/// `n = 10^6` point itself may overshoot without being cut).
+pub const DEFAULT_QUICK_HEADLINE_BUDGET_MS: u64 = 300_000;
+/// Default headline-cell budget in full mode.
+pub const DEFAULT_FULL_HEADLINE_BUDGET_MS: u64 = 600_000;
 /// A budget large enough to never truncate — used by the baseline gate,
 /// where wall-clock-dependent truncation would make the case set
 /// machine-dependent.
@@ -493,6 +514,17 @@ mod tests {
             ..RunConfig::default()
         };
         assert_eq!(pinned.cell_budget(), std::time::Duration::ZERO);
+        // Headline cells get their own (larger) defaults, but an explicit
+        // --budget-ms override pins them just like any other cell.
+        assert_eq!(
+            quick.headline_cell_budget(),
+            std::time::Duration::from_millis(DEFAULT_QUICK_HEADLINE_BUDGET_MS)
+        );
+        assert_eq!(
+            RunConfig::default().headline_cell_budget(),
+            std::time::Duration::from_millis(DEFAULT_FULL_HEADLINE_BUDGET_MS)
+        );
+        assert_eq!(pinned.headline_cell_budget(), std::time::Duration::ZERO);
     }
 
     #[test]

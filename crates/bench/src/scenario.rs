@@ -25,6 +25,12 @@
 //! top-level fields (`skip_counts`, `skipped_pairs`) next to the usual
 //! per-case sweeps, and the `--family`/`--model`/`--algo` CLI flags narrow
 //! the axes.
+//!
+//! Three *headline* cells — flooding and the Theorem 11/12 algorithms on
+//! the binary tree ([`is_headline`]) — extend their n axis past the shared
+//! sizes to `n = 10^6` under a dedicated budget
+//! ([`RunConfig::headline_cell_budget`]), so the scaling fits for the
+//! paper's flagship bounds rest on three decades of n.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -49,6 +55,27 @@ fn matrix_sizes(config: &RunConfig) -> &'static [usize] {
     } else {
         &[16, 32, 64, 128, 256]
     }
+}
+
+/// Extra n-points appended to the headline cells' axes, up to the paper's
+/// million-node scale. 1048575 = 2^20 − 1 is the complete-binary-tree
+/// generator's exact vertex count — asking for 2^20 would overshoot to
+/// the next depth (2^21 − 1).
+const HEADLINE_EXTRA_SIZES: &[usize] = &[4096, 65536, 1048575];
+
+/// Whether a cell is one of the three flagship combinations whose n axis
+/// extends to `n = 10^6`: flooding and the Theorem 11/12 broadcast
+/// algorithms on the bounded-degree binary tree, each under its natural
+/// model. Only these earn the big sizes — the full cross-product at 10^6
+/// would take hours — and they run under
+/// [`RunConfig::headline_cell_budget`] so the extension is not truncated
+/// in a default quick run.
+fn is_headline(alg: &str, family: Family, model: Model) -> bool {
+    family == Family::BinaryTree
+        && matches!(
+            (alg, model),
+            ("naive_flood", Model::Local) | ("theorem11", Model::Local) | ("theorem12", Model::Cd)
+        )
 }
 
 /// One skipped `(algorithm, model)`, `(algorithm, family)`, or budget-cut
@@ -140,6 +167,10 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                 .field(
                     "sizes",
                     Json::Arr(sizes.iter().map(|&n| n.into()).collect()),
+                )
+                .field(
+                    "headline_extra_sizes",
+                    Json::Arr(HEADLINE_EXTRA_SIZES.iter().map(|&n| n.into()).collect()),
                 ),
         ),
         (
@@ -196,22 +227,30 @@ fn run_cell(
     skips: &mut Vec<Skip>,
     combinations: &mut usize,
 ) -> bool {
+    // Headline cells sweep on past the shared sizes to the million-node
+    // tier, under their own (much larger) budget.
+    let headline = is_headline(alg.name(), family, model);
+    let cell_sizes: Vec<usize> = if headline {
+        sizes.iter().chain(HEADLINE_EXTRA_SIZES).copied().collect()
+    } else {
+        sizes.to_vec()
+    };
+    let budget = if headline {
+        config.headline_cell_budget()
+    } else {
+        budget
+    };
     let mut spent = Duration::ZERO;
     let mut truncated = false;
     let mut cell_cases: Vec<Case> = Vec::new();
-    for &n in sizes {
+    for &n in &cell_sizes {
         *combinations += 1;
         if !alg.supports_model(model) {
             tally(skips, "model", alg.name(), model_name(model));
             continue;
         }
-        let graph = graphs
-            .entry(n)
-            .or_insert_with(|| Arc::new(family.instance(n, 0xebc0 + n as u64).graph));
-        if !alg.supports_graph(graph) {
-            tally(skips, "graph", alg.name(), family.name());
-            continue;
-        }
+        // Budget-cut before the graph is even built: a truncated headline
+        // size would otherwise still pay for a million-vertex instance.
         if truncated {
             tally(
                 skips,
@@ -219,6 +258,13 @@ fn run_cell(
                 alg.name(),
                 format!("{}/{}", family.name(), model_name(model)),
             );
+            continue;
+        }
+        let graph = graphs
+            .entry(n)
+            .or_insert_with(|| Arc::new(family.instance(n, 0xebc0 + n as u64).graph));
+        if !alg.supports_graph(graph) {
+            tally(skips, "graph", alg.name(), family.name());
             continue;
         }
         let graph = Arc::clone(graph);
@@ -429,6 +475,40 @@ mod tests {
             .iter()
             .any(|p| p.get("kind").and_then(Json::as_str) == Some("budget")
                 && p.get("cell").is_some()));
+    }
+
+    #[test]
+    fn headline_cells_extend_the_n_axis() {
+        // A headline cell counts the three extra sizes toward the
+        // cross-product (zero budget keeps the test fast: only the first
+        // size actually runs, the extension truncates and is tallied).
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("binary-tree".into()),
+            model: Some("local".into()),
+            algo: Some("naive_flood".into()),
+        });
+        let counts = extra_field(&out, "skip_counts");
+        assert_eq!(int_field(counts, "total_combinations"), 7);
+        assert_eq!(int_field(counts, "run"), 1);
+        assert_eq!(int_field(counts, "skipped_budget"), 6);
+        let axes = extra_field(&out, "axes");
+        let extras = axes.get("headline_extra_sizes").unwrap().as_arr().unwrap();
+        assert_eq!(extras.len(), 3);
+        // The same algorithm outside its headline model keeps the plain
+        // four-size quick axis.
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("binary-tree".into()),
+            model: Some("cd".into()),
+            algo: Some("naive_flood".into()),
+        });
+        let counts = extra_field(&out, "skip_counts");
+        assert_eq!(int_field(counts, "total_combinations"), 4);
     }
 
     #[test]

@@ -8,29 +8,40 @@
 //!   but uninformed vertices listen continuously, so the *energy* is as
 //!   large as the time — the gap that motivates the paper.
 
-use ebc_radio::{Action, Feedback, Model, NodeId, Sim, SlotBehavior};
+use ebc_radio::{Action, Feedback, Model, NodeId, Schedule, Sim, SlotBehavior};
 use rand::Rng;
 
 use crate::util::{ceil_log2, NodeRngs};
 use crate::BroadcastOutcome;
 
+/// Flooding over one [`Schedule::Dynamic`] primitive: round `r` is global
+/// slot `r - 1`, and a vertex that has already relayed is provably idle
+/// forever, so its `next_wake` of `None` drops it from the wake queue.
 struct FloodBehavior {
     informed_at: Vec<Option<u64>>,
-    round: u64,
 }
 
 impl SlotBehavior<u8> for FloodBehavior {
-    fn act(&mut self, v: NodeId, _t: u64) -> Action<u8> {
+    fn act(&mut self, v: NodeId, t: u64) -> Action<u8> {
         match self.informed_at[v] {
             // Send exactly once, the round after becoming informed.
-            Some(r) if r + 1 == self.round => Action::Send(1),
+            Some(r) if r == t => Action::Send(1),
             Some(_) => Action::Idle,
             None => Action::Listen,
         }
     }
-    fn feedback(&mut self, v: NodeId, _t: u64, fb: Feedback<u8>) {
+    fn feedback(&mut self, v: NodeId, t: u64, fb: Feedback<u8>) {
         if matches!(fb, Feedback::One(_) | Feedback::Many(_)) && self.informed_at[v].is_none() {
-            self.informed_at[v] = Some(self.round);
+            self.informed_at[v] = Some(t + 1);
+        }
+    }
+    fn next_wake(&mut self, v: NodeId, t: u64) -> Option<u64> {
+        match self.informed_at[v] {
+            // Relayed in slot t (or before): idle for the rest of the run,
+            // without drawing randomness — safe to never wake again.
+            Some(r) if r <= t => None,
+            // Just informed (wake to relay) or still uninformed (listen).
+            _ => Some(t + 1),
         }
     }
 }
@@ -51,13 +62,15 @@ pub fn flood_local(sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
     let participants: Vec<NodeId> = (0..n).collect();
     let mut b = FloodBehavior {
         informed_at: vec![None; n],
-        round: 0,
     };
     b.informed_at[source] = Some(0);
-    for round in 1..=ecc + 1 {
-        b.round = round;
-        sim.run(&participants, 1, &mut b);
-    }
+    sim.drive(
+        Schedule::Dynamic {
+            participants: &participants,
+            slots: ecc + 1,
+        },
+        &mut b,
+    );
     BroadcastOutcome {
         informed: b.informed_at.iter().map(|x| x.is_some()).collect(),
         source,

@@ -48,16 +48,118 @@ where
         .collect()
 }
 
-/// Groups vertices by label; index `i` holds the layer-`i` vertices.
-/// Labels at or beyond `layer_bound` are clamped into the last bucket
-/// (they never arise for labelings produced by this crate).
-fn layer_buckets(labeling: &Labeling, layer_bound: u32) -> Vec<Vec<NodeId>> {
-    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); layer_bound as usize];
-    for v in 0..labeling.n() {
-        let l = (labeling.label(v)).min(layer_bound - 1) as usize;
-        buckets[l].push(v);
+/// The occupied layers of a labeling, ascending by layer.
+///
+/// The public layer bound `L` can be as large as `n` (§5 uses `L = n`),
+/// but a labeling occupies at most `#distinct labels` of those layers —
+/// and a cast round can only be non-trivial when one of its two adjacent
+/// layers is occupied. Materializing only the occupied layers lets the
+/// casts iterate `O(#occupied)` candidate rounds and batch-skip the empty
+/// stretches in one clock jump, instead of allocating `L` buckets and
+/// walking every round. Labels at or beyond `layer_bound` are clamped
+/// into the last layer (they never arise for labelings from this crate).
+struct Layers {
+    /// `(layer, its vertices in ascending id order)`, sorted by layer.
+    occupied: Vec<(u32, Vec<NodeId>)>,
+}
+
+impl Layers {
+    fn build(labeling: &Labeling, layer_bound: u32) -> Layers {
+        let n = labeling.n();
+        // Pass 1: bitmap of present (clamped) labels.
+        let mut present = vec![0u64; (layer_bound as usize).div_ceil(64)];
+        for v in 0..n {
+            let l = labeling.label(v).min(layer_bound - 1);
+            present[(l >> 6) as usize] |= 1 << (l & 63);
+        }
+        let mut occupied: Vec<(u32, Vec<NodeId>)> = Vec::new();
+        for (w, &word) in present.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let l = (w as u32) << 6 | word.trailing_zeros();
+                occupied.push((l, Vec::new()));
+                word &= word - 1;
+            }
+        }
+        // Pass 2: fill each occupied layer in vertex order.
+        for v in 0..n {
+            let l = labeling.label(v).min(layer_bound - 1);
+            let i = occupied
+                .binary_search_by_key(&l, |e| e.0)
+                .expect("label marked present");
+            occupied[i].1.push(v);
+        }
+        Layers { occupied }
     }
-    buckets
+
+    /// The layer-`l` vertices (empty slice if unoccupied).
+    fn get(&self, l: u32) -> &[NodeId] {
+        match self.occupied.binary_search_by_key(&l, |e| e.0) {
+            Ok(i) => &self.occupied[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Down-cast rounds that can involve anyone, ascending: round `i`
+    /// (senders layer `i`, receivers layer `i + 1`) for `i ≤ L - 2` with
+    /// layer `i` or `i + 1` occupied.
+    fn down_rounds(&self, layer_bound: u32) -> Vec<u64> {
+        let mut rounds = Vec::with_capacity(2 * self.occupied.len());
+        for &(l, _) in &self.occupied {
+            let l = u64::from(l);
+            if l + 2 <= u64::from(layer_bound) {
+                rounds.push(l); // this layer sends down to l + 1
+            }
+            if l >= 1 {
+                rounds.push(l - 1); // this layer receives from l - 1
+            }
+        }
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+
+    /// Up-cast rounds that can involve anyone, ascending: round `i`
+    /// (senders layer `i`, receivers layer `i - 1`) for `1 ≤ i ≤ L - 1`
+    /// with layer `i` or `i - 1` occupied. The cast itself runs them in
+    /// descending order.
+    fn up_rounds(&self, layer_bound: u32) -> Vec<u64> {
+        let mut rounds = Vec::with_capacity(2 * self.occupied.len());
+        for &(l, _) in &self.occupied {
+            let l = u64::from(l);
+            if l >= 1 {
+                rounds.push(l); // this layer sends up to l - 1
+            }
+            if l + 1 < u64::from(layer_bound) {
+                rounds.push(l + 1); // this layer receives from l + 1
+            }
+        }
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+}
+
+/// Runs the candidate rounds of one cast sweep at their public clock
+/// positions, batch-skipping the provably-empty rounds in between so the
+/// sweep still occupies exactly `total_rounds × round_slots` slots.
+///
+/// `scheduled` yields `(clock position, round index)` in ascending
+/// position order; `f` runs one SR round.
+fn run_rounds_at(
+    sim: &mut Sim,
+    sr: &Sr,
+    total_rounds: u64,
+    scheduled: impl Iterator<Item = (u64, u32)>,
+    mut f: impl FnMut(&mut Sim, u32),
+) {
+    let mut next = 0u64;
+    for (pos, i) in scheduled {
+        sim.skip((pos - next) * sr.round_slots());
+        f(sim, i);
+        next = pos + 1;
+    }
+    sim.skip((total_rounds - next) * sr.round_slots());
 }
 
 /// Flag message used when relaying a single payload.
@@ -65,29 +167,43 @@ fn layer_buckets(labeling: &Labeling, layer_bound: u32) -> Vec<Vec<NodeId>> {
 struct Payload;
 
 /// The per-payload cast engine shared by [`broadcast_with_labeling`]: holds
-/// the layer buckets so each round costs `O(|bucket|)`, not `O(n)`.
+/// the occupied layers so a sweep costs `O(#occupied)` rounds plus batched
+/// clock skips, not `O(L)`.
 struct PayloadCaster<'a> {
-    buckets: Vec<Vec<NodeId>>,
+    layers: Layers,
+    layer_bound: u32,
     sr: &'a Sr,
 }
 
 impl PayloadCaster<'_> {
     fn down(&self, sim: &mut Sim, has: &mut [bool], rngs: &mut NodeRngs) {
-        for i in 0..self.buckets.len().saturating_sub(1) {
-            let senders: Vec<(NodeId, Payload)> = self.buckets[i]
-                .iter()
-                .filter(|&&v| has[v])
-                .map(|&v| (v, Payload))
-                .collect();
-            let receivers: Vec<NodeId> = self.buckets[i + 1]
-                .iter()
-                .copied()
-                .filter(|&v| !has[v])
-                .collect();
-            for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
-                has[v] = true;
-            }
-        }
+        let total = u64::from(self.layer_bound) - 1;
+        let rounds = self.layers.down_rounds(self.layer_bound);
+        run_rounds_at(
+            sim,
+            self.sr,
+            total,
+            rounds.into_iter().map(|i| (i, i as u32)),
+            |sim, i| {
+                let senders: Vec<(NodeId, Payload)> = self
+                    .layers
+                    .get(i)
+                    .iter()
+                    .filter(|&&v| has[v])
+                    .map(|&v| (v, Payload))
+                    .collect();
+                let receivers: Vec<NodeId> = self
+                    .layers
+                    .get(i + 1)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !has[v])
+                    .collect();
+                for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
+                    has[v] = true;
+                }
+            },
+        );
     }
 
     fn all(&self, sim: &mut Sim, has: &mut [bool], rngs: &mut NodeRngs) {
@@ -101,21 +217,33 @@ impl PayloadCaster<'_> {
     }
 
     fn up(&self, sim: &mut Sim, has: &mut [bool], rngs: &mut NodeRngs) {
-        for i in (1..self.buckets.len()).rev() {
-            let senders: Vec<(NodeId, Payload)> = self.buckets[i]
-                .iter()
-                .filter(|&&v| has[v])
-                .map(|&v| (v, Payload))
-                .collect();
-            let receivers: Vec<NodeId> = self.buckets[i - 1]
-                .iter()
-                .copied()
-                .filter(|&v| !has[v])
-                .collect();
-            for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
-                has[v] = true;
-            }
-        }
+        let total = u64::from(self.layer_bound) - 1;
+        let rounds = self.layers.up_rounds(self.layer_bound);
+        run_rounds_at(
+            sim,
+            self.sr,
+            total,
+            rounds.into_iter().rev().map(|i| (total - i, i as u32)),
+            |sim, i| {
+                let senders: Vec<(NodeId, Payload)> = self
+                    .layers
+                    .get(i)
+                    .iter()
+                    .filter(|&&v| has[v])
+                    .map(|&v| (v, Payload))
+                    .collect();
+                let receivers: Vec<NodeId> = self
+                    .layers
+                    .get(i - 1)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !has[v])
+                    .collect();
+                for (v, _) in sr_round(sim, self.sr, senders, receivers, rngs) {
+                    has[v] = true;
+                }
+            },
+        );
     }
 }
 
@@ -144,7 +272,8 @@ pub fn broadcast_with_labeling(
     debug_assert!(labeling.is_good(sim.graph()));
     let n = labeling.n();
     let caster = PayloadCaster {
-        buckets: layer_buckets(labeling, layer_bound),
+        layers: Layers::build(labeling, layer_bound),
+        layer_bound,
         sr,
     };
     let mut has = vec![false; n];
@@ -228,22 +357,34 @@ fn relabel_from(
 ) -> Labeling {
     assert!(layer_bound >= 1);
     let n = labeling.n();
-    let buckets = layer_buckets(labeling, layer_bound);
+    // The casts sweep the *old* layers (which never change during the
+    // relabel), so the occupied-layer structure is built once.
+    let layers = Layers::build(labeling, layer_bound);
+    let total = u64::from(layer_bound) - 1;
     let down = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
-        for i in 0..buckets.len().saturating_sub(1) {
-            let senders: Vec<(NodeId, u32)> = buckets[i]
-                .iter()
-                .filter_map(|&v| newl[v].map(|m| (v, m)))
-                .collect();
-            let receivers: Vec<NodeId> = buckets[i + 1]
-                .iter()
-                .copied()
-                .filter(|&v| newl[v].is_none())
-                .collect();
-            for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
-                newl[v] = Some(m + 1);
-            }
-        }
+        let rounds = layers.down_rounds(layer_bound);
+        run_rounds_at(
+            sim,
+            sr,
+            total,
+            rounds.into_iter().map(|i| (i, i as u32)),
+            |sim, i| {
+                let senders: Vec<(NodeId, u32)> = layers
+                    .get(i)
+                    .iter()
+                    .filter_map(|&v| newl[v].map(|m| (v, m)))
+                    .collect();
+                let receivers: Vec<NodeId> = layers
+                    .get(i + 1)
+                    .iter()
+                    .copied()
+                    .filter(|&v| newl[v].is_none())
+                    .collect();
+                for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
+                    newl[v] = Some(m + 1);
+                }
+            },
+        );
     };
     let all = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
         let senders: Vec<(NodeId, u32)> = (0..n).filter_map(|v| newl[v].map(|m| (v, m))).collect();
@@ -253,20 +394,29 @@ fn relabel_from(
         }
     };
     let up = |sim: &mut Sim, newl: &mut Vec<Option<u32>>, rngs: &mut NodeRngs| {
-        for i in (1..buckets.len()).rev() {
-            let senders: Vec<(NodeId, u32)> = buckets[i]
-                .iter()
-                .filter_map(|&v| newl[v].map(|m| (v, m)))
-                .collect();
-            let receivers: Vec<NodeId> = buckets[i - 1]
-                .iter()
-                .copied()
-                .filter(|&v| newl[v].is_none())
-                .collect();
-            for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
-                newl[v] = Some(m + 1);
-            }
-        }
+        let rounds = layers.up_rounds(layer_bound);
+        run_rounds_at(
+            sim,
+            sr,
+            total,
+            rounds.into_iter().rev().map(|i| (total - i, i as u32)),
+            |sim, i| {
+                let senders: Vec<(NodeId, u32)> = layers
+                    .get(i)
+                    .iter()
+                    .filter_map(|&v| newl[v].map(|m| (v, m)))
+                    .collect();
+                let receivers: Vec<NodeId> = layers
+                    .get(i - 1)
+                    .iter()
+                    .copied()
+                    .filter(|&v| newl[v].is_none())
+                    .collect();
+                for (v, m) in sr_round(sim, sr, senders, receivers, rngs) {
+                    newl[v] = Some(m + 1);
+                }
+            },
+        );
     };
     for _ in 0..s {
         down(sim, &mut newl, rngs);

@@ -13,7 +13,7 @@
 //! polynomially large (the paper's time bound is `O(n N² log n log N)`),
 //! while per-vertex energy stays polylogarithmic (`O(log³ N log n)`).
 
-use ebc_radio::{Model, NodeId, Sim};
+use ebc_radio::{Model, NodeId, Schedule, Sim, SparseSchedule};
 
 use crate::labeling::Labeling;
 use crate::srcomm::det_sr;
@@ -141,15 +141,12 @@ fn down_sweep(
             .filter(|&v| st.labeling.label(v) == layer && !children[v].is_empty())
             .collect();
         active.sort_by_key(|&v| ids[v]);
-        let mut schedule: Vec<(u64, Vec<NodeId>)> = Vec::with_capacity(active.len());
+        let mut schedule = SparseSchedule::new();
         let mut parent_at: std::collections::HashMap<u64, NodeId> = Default::default();
         for &v in &active {
             let slot = ids[v] - 1;
             parent_at.insert(slot, v);
-            let participants: Vec<NodeId> = std::iter::once(v)
-                .chain(children[v].iter().copied())
-                .collect();
-            schedule.push((slot, participants));
+            schedule.push(slot, std::iter::once(v).chain(children[v].iter().copied()));
         }
         let mut received: Vec<(NodeId, u64)> = Vec::new();
         let msgs_now: &Vec<Option<u64>> = msgs;
@@ -170,7 +167,13 @@ fn down_sweep(
                 }
             },
         );
-        sim.run_scheduled(&schedule, id_space, &mut behavior);
+        sim.drive(
+            Schedule::Sparse {
+                schedule: &schedule,
+                slots: id_space,
+            },
+            &mut behavior,
+        );
         drop(behavior);
         for (r, m) in received {
             fold(msgs, r, m);

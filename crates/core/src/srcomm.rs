@@ -23,11 +23,11 @@
 //! receiver pays for every listening slot even when no neighbor transmits,
 //! because it cannot know.
 
-use ebc_radio::{Action, Feedback, Model, NodeId, Sim, SlotBehavior};
+use ebc_radio::{Action, Feedback, Model, NodeId, Schedule, Sim, SlotBehavior, SparseSchedule};
 use ebc_singlehop::{Obs, UniformLeaderElection};
 use rand::Rng;
 
-use crate::util::{ceil_log2, NodeRngs};
+use crate::util::{ceil_log2, IdIndex, NodeRngs, RoleMap};
 
 /// Wrapper distinguishing payload messages from Remark 9 relevance markers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,9 +147,11 @@ fn run_local<M: Clone + core::fmt::Debug>(
 ) -> Vec<Option<M>> {
     assert_eq!(sim.model(), Model::Local, "Sr::Local needs the LOCAL model");
     let mut got: Vec<Option<M>> = vec![None; receivers.len()];
-    let recv_index: std::collections::HashMap<NodeId, usize> =
-        receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let sender_of: std::collections::HashMap<NodeId, M> = senders.iter().cloned().collect();
+    let roles = RoleMap::new(
+        sim.graph().n(),
+        senders.iter().map(|(v, _)| *v),
+        receivers.iter().copied(),
+    );
     let participants: Vec<NodeId> = senders
         .iter()
         .map(|(v, _)| *v)
@@ -157,8 +159,8 @@ fn run_local<M: Clone + core::fmt::Debug>(
         .collect();
     let mut behavior = ebc_radio::from_fns(
         |v, _t| {
-            if let Some(m) = sender_of.get(&v) {
-                Action::Send(m.clone())
+            if let Some(si) = roles.sender(v) {
+                Action::Send(senders[si].1.clone())
             } else {
                 Action::Listen
             }
@@ -166,7 +168,7 @@ fn run_local<M: Clone + core::fmt::Debug>(
         |v, _t, fb: Feedback<M>| {
             if let Feedback::Many(ms) = fb {
                 if let Some(m) = ms.into_iter().next() {
-                    got[recv_index[&v]] = Some(m);
+                    got[roles.receiver(v).expect("listener is a receiver")] = Some(m);
                 }
             }
         },
@@ -179,8 +181,8 @@ fn run_local<M: Clone + core::fmt::Debug>(
 /// Shared state of one decay run, as a [`SlotBehavior`] so the act and
 /// feedback paths can both touch `got`.
 struct DecayBehavior<'a, M> {
-    sender_of: std::collections::HashMap<NodeId, M>,
-    recv_index: std::collections::HashMap<NodeId, usize>,
+    senders: &'a [(NodeId, M)],
+    roles: RoleMap,
     got: Vec<Option<M>>,
     sweep_len: u64,
     rngs: &'a mut NodeRngs,
@@ -188,15 +190,14 @@ struct DecayBehavior<'a, M> {
 
 impl<M: Clone> SlotBehavior<M> for DecayBehavior<'_, M> {
     fn act(&mut self, v: NodeId, t: u64) -> Action<M> {
-        if let Some(m) = self.sender_of.get(&v) {
+        if let Some(si) = self.roles.sender(v) {
             let i = (t % self.sweep_len) as i32;
-            let m = m.clone();
             if self.rngs.get(v).gen_bool(0.5_f64.powi(i)) {
-                Action::Send(m)
+                Action::Send(self.senders[si].1.clone())
             } else {
                 Action::Idle
             }
-        } else if self.got[self.recv_index[&v]].is_none() {
+        } else if self.got[self.roles.receiver(v).expect("participant is S or R")].is_none() {
             Action::Listen
         } else {
             Action::Idle
@@ -205,10 +206,20 @@ impl<M: Clone> SlotBehavior<M> for DecayBehavior<'_, M> {
 
     fn feedback(&mut self, v: NodeId, _t: u64, fb: Feedback<M>) {
         if let Feedback::One(m) = fb {
-            let slot = &mut self.got[self.recv_index[&v]];
+            let slot = &mut self.got[self.roles.receiver(v).expect("listener is a receiver")];
             if slot.is_none() {
                 *slot = Some(m);
             }
+        }
+    }
+
+    // Senders draw randomness every slot, so they can never skip; a
+    // receiver that already holds a message is provably Idle (no
+    // randomness) for the rest of the run and drops out of the wake queue.
+    fn next_wake(&mut self, v: NodeId, t: u64) -> Option<u64> {
+        match self.roles.receiver(v) {
+            Some(ri) if self.got[ri].is_some() => None,
+            _ => Some(t + 1),
         }
     }
 }
@@ -233,13 +244,23 @@ fn run_decay<M: Clone + core::fmt::Debug>(
         .chain(receivers.iter().copied())
         .collect();
     let mut behavior = DecayBehavior {
-        sender_of: senders.iter().cloned().collect(),
-        recv_index: receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect(),
+        senders,
+        roles: RoleMap::new(
+            sim.graph().n(),
+            senders.iter().map(|(v, _)| *v),
+            receivers.iter().copied(),
+        ),
         got: vec![None; receivers.len()],
         sweep_len,
         rngs,
     };
-    sim.run(&participants, total, &mut behavior);
+    sim.drive(
+        Schedule::Dynamic {
+            participants: &participants,
+            slots: total,
+        },
+        &mut behavior,
+    );
     behavior.got
 }
 
@@ -294,12 +315,11 @@ where
         .collect();
     let mut behavior = CdBehavior {
         senders,
-        send_index: senders
-            .iter()
-            .enumerate()
-            .map(|(i, (v, _))| (*v, i))
-            .collect(),
-        recv_index: receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect(),
+        roles: RoleMap::new(
+            sim.graph().n(),
+            senders.iter().map(|(v, _)| *v),
+            receivers.iter().copied(),
+        ),
         got: vec![None; receivers.len()],
         active_s,
         active_r,
@@ -310,62 +330,111 @@ where
             .iter()
             .map(|_| UniformLeaderElection::new(delta.max(1)))
             .collect(),
-        epoch_obs: vec![None; receivers.len()],
-        sends_this_epoch: vec![0; senders.len()],
+        sends: vec![[0; 2]; senders.len()],
+        sends_len: vec![0; senders.len()],
+        sends_next: vec![0; senders.len()],
+        cur_epoch: vec![0; senders.len()],
+        epochs: u64::from(epochs),
         sweep_len,
         rngs,
     };
-    for _epoch in 0..epochs {
-        behavior.sends_this_epoch.iter_mut().for_each(|x| *x = 0);
-        behavior.epoch_obs.iter_mut().for_each(|x| *x = None);
-        sim.run(&participants, sweep_len, &mut behavior);
-        for ri in 0..receivers.len() {
-            if let Some(o) = behavior.epoch_obs[ri] {
-                behavior.scheds[ri].observe(o);
-            }
-        }
-    }
+    // All epochs are one dynamic primitive (epoch boundaries live inside
+    // the behavior): irrelevant or satisfied vertices drop out of the wake
+    // queue once instead of being re-seeded per epoch, so the whole call
+    // costs O(|S| + |R|) setup plus the genuinely active polls — the
+    // difference that lets the Theorem 12 casts keep their huge
+    // participant sets at n = 10^6.
+    sim.drive(
+        Schedule::Dynamic {
+            participants: &participants,
+            slots: u64::from(epochs) * sweep_len,
+        },
+        &mut behavior,
+    );
     behavior.got
 }
 
 /// State of one Lemma 8 run.
 struct CdBehavior<'a, M> {
     senders: &'a [(NodeId, M)],
-    send_index: std::collections::HashMap<NodeId, usize>,
-    recv_index: std::collections::HashMap<NodeId, usize>,
+    roles: RoleMap,
     got: Vec<Option<M>>,
     active_s: Vec<bool>,
     active_r: Vec<bool>,
     scheds: Vec<UniformLeaderElection>,
-    epoch_obs: Vec<Option<Obs>>,
-    sends_this_epoch: Vec<u32>,
+    /// Predetermined absolute send slots of epoch `cur_epoch[si]`:
+    /// `sends[si][..sends_len[si]]`, with `sends_next[si]` consumed so far.
+    ///
+    /// Slot i of an epoch (1-based) transmits with probability 2^{-i}, at
+    /// most twice per epoch, so whichever slot a receiver samples sees the
+    /// uniform probability it expects. The Bernoulli draws of one epoch are
+    /// batched at the epoch boundary — per-node draw order is identical to
+    /// drawing slot-by-slot (each draw stops being made once two sends are
+    /// fixed, exactly like the in-slot early-out) — which lets a sender
+    /// wake only at its actual send slots instead of polling every slot.
+    sends: Vec<[u64; 2]>,
+    sends_len: Vec<u8>,
+    sends_next: Vec<u8>,
+    cur_epoch: Vec<u64>,
+    epochs: u64,
     sweep_len: u64,
     rngs: &'a mut NodeRngs,
 }
 
+impl<M: Clone> CdBehavior<'_, M> {
+    /// Draws sender `si`'s send slots for `epoch` (consuming exactly the
+    /// Bernoulli draws the slot-by-slot protocol would).
+    fn draw_sends(&mut self, v: NodeId, si: usize, epoch: u64) {
+        self.cur_epoch[si] = epoch;
+        let mut len = 0u8;
+        let rng = self.rngs.get(v);
+        for slot in 0..self.sweep_len {
+            if rng.gen_bool(0.5_f64.powi(slot as i32 + 1)) {
+                self.sends[si][usize::from(len)] = epoch * self.sweep_len + slot;
+                len += 1;
+                if len == 2 {
+                    break;
+                }
+            }
+        }
+        self.sends_len[si] = len;
+        self.sends_next[si] = 0;
+    }
+
+    /// The sender's next send slot, drawing further epochs as needed; the
+    /// returned slot is consumed (it becomes the sender's next wake).
+    fn next_send_wake(&mut self, v: NodeId, si: usize) -> Option<u64> {
+        loop {
+            if self.sends_next[si] < self.sends_len[si] {
+                let t = self.sends[si][usize::from(self.sends_next[si])];
+                self.sends_next[si] += 1;
+                return Some(t);
+            }
+            let next_epoch = self.cur_epoch[si] + 1;
+            if next_epoch >= self.epochs {
+                return None;
+            }
+            self.draw_sends(v, si, next_epoch);
+        }
+    }
+}
+
 impl<M: Clone> SlotBehavior<SrMsg<M>> for CdBehavior<'_, M> {
     fn act(&mut self, v: NodeId, t: u64) -> Action<SrMsg<M>> {
-        if let Some(&si) = self.send_index.get(&v) {
-            // Slot i (1-based within the epoch): transmit with probability
-            // 2^{-i}, at most twice per epoch, so whichever slot a receiver
-            // samples sees the uniform probability it expects.
-            if !self.active_s[si] || self.sends_this_epoch[si] >= 2 {
-                return Action::Idle;
-            }
-            let i = t as i32 + 1;
-            if self.rngs.get(v).gen_bool(0.5_f64.powi(i)) {
-                self.sends_this_epoch[si] += 1;
-                Action::Send(SrMsg::Payload(self.senders[si].1.clone()))
-            } else {
-                Action::Idle
-            }
+        let slot = t % self.sweep_len;
+        if let Some(si) = self.roles.sender(v) {
+            // A sender is only ever woken at one of its predetermined send
+            // slots.
+            debug_assert!(self.active_s[si]);
+            debug_assert!(self.sends[si][..usize::from(self.sends_len[si])].contains(&t));
+            Action::Send(SrMsg::Payload(self.senders[si].1.clone()))
         } else {
-            let ri = self.recv_index[&v];
+            let ri = self.roles.receiver(v).expect("participant is S or R");
             if !self.active_r[ri] || self.got[ri].is_some() {
                 return Action::Idle;
             }
             let k = self.scheds[ri].k().clamp(1, self.sweep_len as u32);
-            if t + 1 == u64::from(k) {
+            if slot + 1 == u64::from(k) {
                 Action::Listen
             } else {
                 Action::Idle
@@ -374,18 +443,57 @@ impl<M: Clone> SlotBehavior<SrMsg<M>> for CdBehavior<'_, M> {
     }
 
     fn feedback(&mut self, v: NodeId, _t: u64, fb: Feedback<SrMsg<M>>) {
-        let ri = self.recv_index[&v];
-        match fb {
+        let ri = self.roles.receiver(v).expect("listener is a receiver");
+        let obs = match fb {
             Feedback::One(SrMsg::Payload(m)) => {
                 self.got[ri] = Some(m);
-                self.epoch_obs[ri] = Some(Obs::Unique);
+                Obs::Unique
             }
-            Feedback::One(SrMsg::Marker) => {
-                self.epoch_obs[ri] = Some(Obs::Unique);
-            }
-            Feedback::Noise | Feedback::Beep => self.epoch_obs[ri] = Some(Obs::Noise),
-            Feedback::Silence => self.epoch_obs[ri] = Some(Obs::Silence),
+            Feedback::One(SrMsg::Marker) => Obs::Unique,
+            Feedback::Noise | Feedback::Beep => Obs::Noise,
+            Feedback::Silence => Obs::Silence,
             Feedback::Many(_) => unreachable!("CD never delivers Many"),
+        };
+        // A receiver listens once per epoch, so its single observation
+        // feeds the leader-election schedule immediately.
+        self.scheds[ri].observe(obs);
+    }
+
+    // Across the whole run: an inactive or satisfied sender/receiver never
+    // enters the wake queue, an active sender wakes only at its
+    // predetermined send slots (epochs' draws are batched at the
+    // boundary), and an active receiver wakes only at its one sampled slot
+    // `k_e - 1` of each epoch.
+    fn first_wake(&mut self, v: NodeId) -> Option<u64> {
+        if let Some(si) = self.roles.sender(v) {
+            if !self.active_s[si] {
+                return None;
+            }
+            self.draw_sends(v, si, 0);
+            self.next_send_wake(v, si)
+        } else {
+            let ri = self.roles.receiver(v).expect("participant is S or R");
+            if !self.active_r[ri] || self.got[ri].is_some() {
+                return None;
+            }
+            let k = self.scheds[ri].k().clamp(1, self.sweep_len as u32);
+            Some(u64::from(k) - 1)
+        }
+    }
+
+    fn next_wake(&mut self, v: NodeId, t: u64) -> Option<u64> {
+        let epoch = t / self.sweep_len;
+        if let Some(si) = self.roles.sender(v) {
+            self.next_send_wake(v, si)
+        } else {
+            let ri = self.roles.receiver(v).expect("participant is S or R");
+            if !self.active_r[ri] || self.got[ri].is_some() {
+                return None;
+            }
+            // `feedback` already observed this epoch's outcome, so `k` is
+            // next epoch's sampled slot.
+            let k = self.scheds[ri].k().clamp(1, self.sweep_len as u32);
+            Some((epoch + 1) * self.sweep_len + u64::from(k) - 1)
         }
     }
 }
@@ -400,17 +508,19 @@ fn run_marker_slot(
     active: &mut [bool],
 ) {
     let marker_ids: Vec<NodeId> = markers.collect();
-    let check_index: std::collections::HashMap<NodeId, usize> =
-        checkers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let roles = RoleMap::new(
+        sim.graph().n(),
+        marker_ids.iter().copied(),
+        checkers.iter().copied(),
+    );
     let participants: Vec<NodeId> = marker_ids
         .iter()
         .copied()
         .chain(checkers.iter().copied())
         .collect();
-    let marker_set: std::collections::HashSet<NodeId> = marker_ids.iter().copied().collect();
     let mut behavior = ebc_radio::from_fns(
         |v, _t| {
-            if marker_set.contains(&v) {
+            if roles.sender(v).is_some() {
                 Action::Send(SrMsg::<u8>::Marker)
             } else {
                 Action::Listen
@@ -418,7 +528,7 @@ fn run_marker_slot(
         },
         |v, _t, fb: Feedback<SrMsg<u8>>| {
             if matches!(fb, Feedback::Silence) {
-                active[check_index[&v]] = false;
+                active[roles.receiver(v).expect("listener is a checker")] = false;
             }
         },
     );
@@ -427,8 +537,9 @@ fn run_marker_slot(
 
 /// State of one TDMA round.
 struct TdmaBehavior<'a, M> {
-    sender_of: std::collections::HashMap<NodeId, M>,
-    recv_index: std::collections::HashMap<NodeId, usize>,
+    senders: &'a [(NodeId, M)],
+    send_index: IdIndex,
+    recv_index: IdIndex,
     got: Vec<Option<M>>,
     colors: &'a [u32],
 }
@@ -436,16 +547,16 @@ struct TdmaBehavior<'a, M> {
 impl<M: Clone> SlotBehavior<M> for TdmaBehavior<'_, M> {
     fn act(&mut self, v: NodeId, t: u64) -> Action<M> {
         let c = t as u32;
-        if let Some(m) = self.sender_of.get(&v) {
+        if let Some(si) = self.send_index.get(v) {
             if self.colors[v] == c {
-                return Action::Send(m.clone());
+                return Action::Send(self.senders[si].1.clone());
             }
             Action::Idle
         } else {
             // Only scheduled in slots matching a neighbor's color — the
             // listen schedule every vertex knows after Learn-Degree +
             // coloring — so listen unless the message already arrived.
-            if self.got[self.recv_index[&v]].is_none() {
+            if self.got[self.recv_index.get(v).expect("participant is S or R")].is_none() {
                 return Action::Listen;
             }
             Action::Idle
@@ -459,7 +570,7 @@ impl<M: Clone> SlotBehavior<M> for TdmaBehavior<'_, M> {
             _ => None,
         };
         if let Some(m) = m {
-            let slot = &mut self.got[self.recv_index[&v]];
+            let slot = &mut self.got[self.recv_index.get(v).expect("listener is a receiver")];
             if slot.is_none() {
                 *slot = Some(m);
             }
@@ -499,19 +610,26 @@ fn run_tdma<M: Clone + core::fmt::Debug>(
             }
         }
     }
-    let schedule: Vec<(u64, Vec<NodeId>)> = per_slot
-        .into_iter()
-        .enumerate()
-        .filter(|(_, ps)| !ps.is_empty())
-        .map(|(c, ps)| (c as u64, ps))
-        .collect();
+    let mut schedule = SparseSchedule::new();
+    for (c, ps) in per_slot.into_iter().enumerate() {
+        if !ps.is_empty() {
+            schedule.push(c as u64, ps);
+        }
+    }
     let mut behavior = TdmaBehavior {
-        sender_of: senders.iter().cloned().collect(),
-        recv_index: receivers.iter().enumerate().map(|(i, &v)| (v, i)).collect(),
+        senders,
+        send_index: IdIndex::new(senders.iter().map(|(v, _)| *v)),
+        recv_index: IdIndex::new(receivers.iter().copied()),
         got: vec![None; receivers.len()],
         colors,
     };
-    sim.run_scheduled(&schedule, u64::from(num_colors), &mut behavior);
+    sim.drive(
+        Schedule::Sparse {
+            schedule: &schedule,
+            slots: u64::from(num_colors),
+        },
+        &mut behavior,
+    );
     behavior.got
 }
 

@@ -10,7 +10,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use crate::model::{resolve, Action, Feedback, Model};
+use crate::bitset::BitSet;
+use crate::model::{resolve_row, Action, Feedback, Model};
 use crate::trace::{Trace, TraceKind};
 use crate::{EnergyMeter, Graph, NodeId, Slot};
 
@@ -62,8 +63,10 @@ pub struct EventEngine {
     meter: EnergyMeter,
     trace: Option<Trace>,
     sending: Vec<u32>,
-    /// Scratch: `listening[v]` iff `v` listened in the current slot.
-    listening: Vec<bool>,
+    /// Scratch: the packed transmitting set of the current slot.
+    tx: BitSet,
+    /// Scratch: the packed listening set of the current slot.
+    listening: BitSet,
 }
 
 impl EventEngine {
@@ -80,7 +83,8 @@ impl EventEngine {
             meter: EnergyMeter::new(n),
             trace: None,
             sending: vec![0; n],
-            listening: vec![false; n],
+            tx: BitSet::new(n),
+            listening: BitSet::new(n),
         }
     }
 
@@ -162,7 +166,7 @@ impl EventEngine {
                     }
                     Action::Listen => {
                         self.meter.charge_listen(v, t);
-                        self.listening[v] = true;
+                        self.listening.insert(v);
                         listeners.push(v);
                     }
                     Action::SendListen(m) => {
@@ -172,22 +176,23 @@ impl EventEngine {
                             tr.push(t, v, TraceKind::Send(format!("{m:?}")));
                         }
                         senders.push((v, m));
-                        self.listening[v] = true;
+                        self.listening.insert(v);
                         listeners.push(v);
                     }
                 }
             }
             for (i, (v, _)) in senders.iter().enumerate() {
                 self.sending[*v] = i as u32 + 1;
+                self.tx.insert(*v);
             }
             for &v in &awake {
-                let heard = if self.listening[v] {
-                    let fb = resolve(
+                let heard = if self.listening.contains(v) {
+                    let fb = resolve_row(
                         self.model,
-                        self.graph.neighbors(v).filter_map(|u| {
-                            let idx = self.sending[u];
-                            (idx != 0).then(|| (u, senders[idx as usize - 1].1.clone()))
-                        }),
+                        self.graph.neighbor_row(v),
+                        &self.tx,
+                        &self.sending,
+                        &senders,
                     );
                     if let Some(tr) = &mut self.trace {
                         let kind = match &fb {
@@ -212,9 +217,10 @@ impl EventEngine {
             }
             for (v, _) in &senders {
                 self.sending[*v] = 0;
+                self.tx.remove(*v);
             }
             for &v in &listeners {
-                self.listening[v] = false;
+                self.listening.remove(v);
             }
         }
         RunOutcome {

@@ -104,9 +104,41 @@ impl Graph {
     /// Panics if `v >= n`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbor_row(v).iter().map(|&u| u as NodeId)
+    }
+
+    /// The CSR row of `v`: its neighbors as a sorted `&[u32]` slice.
+    ///
+    /// This is the word-parallel engines' entry point — callers test each
+    /// row entry against a packed bitset instead of driving the
+    /// [`neighbors`] iterator, and the sorted order means the first set bit
+    /// found belongs to the lowest-id transmitting neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    ///
+    /// [`neighbors`]: Graph::neighbors
+    #[inline]
+    pub fn neighbor_row(&self, v: NodeId) -> &[u32] {
         let lo = self.offsets[v] as usize;
         let hi = self.offsets[v + 1] as usize;
-        self.neighbors[lo..hi].iter().map(|&u| u as NodeId)
+        &self.neighbors[lo..hi]
+    }
+
+    /// The CSR degree-prefix array: `offsets()[v]..offsets()[v + 1]` bounds
+    /// `v`'s row inside [`neighbor_data`]. Length `n + 1`.
+    ///
+    /// [`neighbor_data`]: Graph::neighbor_data
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat CSR neighbor array all rows are slices of (length `2m`).
+    #[inline]
+    pub fn neighbor_data(&self) -> &[u32] {
+        &self.neighbors
     }
 
     /// The degree of `v`.
@@ -250,6 +282,22 @@ mod tests {
         assert!(!g.is_connected());
         assert_eq!(g.diameter_exact(), None);
         assert_eq!(g.eccentricity(0), None);
+    }
+
+    #[test]
+    fn neighbor_row_matches_iterator_and_offsets() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 3), (2, 4), (1, 3)]).unwrap();
+        for v in 0..5 {
+            let row: Vec<NodeId> = g.neighbor_row(v).iter().map(|&u| u as NodeId).collect();
+            let it: Vec<NodeId> = g.neighbors(v).collect();
+            assert_eq!(row, it, "row/iterator mismatch at {v}");
+            let lo = g.offsets()[v] as usize;
+            let hi = g.offsets()[v + 1] as usize;
+            assert_eq!(&g.neighbor_data()[lo..hi], g.neighbor_row(v));
+            assert_eq!(hi - lo, g.degree(v));
+        }
+        assert_eq!(g.offsets().len(), 6);
+        assert_eq!(g.neighbor_data().len(), 2 * g.m());
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //!
 //! * [`Sim`] — the *phase-composed* engine. Algorithms in the paper are
 //!   built from primitives occupying a contiguous block of slots with a
-//!   known participant set; [`Sim::run`] executes such a block, charging
-//!   energy only for participants, while [`Sim::skip`] advances the global
-//!   clock over provably-idle regions so reported *time* still counts them.
+//!   known participant set; [`Sim::drive`] executes such a block under a
+//!   [`Schedule`] (dense range, CSR-backed [`SparseSchedule`] slots, or a
+//!   dynamic wake-queue fed by [`SlotBehavior`] hints), charging energy
+//!   only for scheduled participants, while [`Sim::skip`] advances the
+//!   global clock over provably-idle regions so reported *time* still
+//!   counts them. Collision resolution is word-parallel: the transmitting
+//!   set is a packed [`BitSet`] probed per CSR neighbor-row entry.
 //! * [`EventEngine`] — an event-driven engine with a wake queue, for
 //!   protocols whose wake times are data-dependent (the paper's §8 path
 //!   algorithm). Nodes implement [`Protocol`].
@@ -55,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod energy;
 mod engine;
 mod graph;
@@ -63,11 +68,12 @@ pub mod rng;
 mod sim;
 mod trace;
 
+pub use bitset::BitSet;
 pub use energy::{EnergyMeter, EnergyReport};
 pub use engine::{EventEngine, NextWake, Protocol, RunOutcome};
 pub use graph::{Graph, GraphError};
 pub use model::{resolve, Action, Feedback, Model};
-pub use sim::{from_fns, Sim, SlotBehavior};
+pub use sim::{from_fns, Schedule, Sim, SlotBehavior, SparseSchedule};
 pub use trace::{Trace, TraceEvent, TraceKind};
 
 /// Index of a device (vertex) in the network, in `0..n`.

@@ -1,8 +1,10 @@
-//! The phase-composed simulation engine.
+//! The phase-composed simulation engine and the [`Schedule`] driving API.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use crate::model::{resolve, Action, Feedback, Model};
+use crate::bitset::BitSet;
+use crate::model::{resolve, resolve_row, Action, Feedback, Model};
 use crate::trace::{Trace, TraceKind};
 use crate::{EnergyMeter, Graph, NodeId, Slot};
 
@@ -23,6 +25,29 @@ pub trait SlotBehavior<M> {
     /// Delivers channel feedback to `v` for local slot `t`. Called only if
     /// `v` listened in that slot.
     fn feedback(&mut self, v: NodeId, t: u64, fb: Feedback<M>);
+
+    /// For [`Schedule::Dynamic`]: the first local slot at which `v` wants
+    /// to be polled, or `None` if it never participates. Wakes at or
+    /// beyond the schedule's slot count are dropped. Defaults to slot 0,
+    /// so behaviors written for the dense loop compile unchanged.
+    fn first_wake(&mut self, v: NodeId) -> Option<u64> {
+        let _ = v;
+        Some(0)
+    }
+
+    /// For [`Schedule::Dynamic`]: the next local slot (strictly after `t`)
+    /// at which `v` wants to be polled, or `None` once it is done. Called
+    /// after `v`'s slot-`t` action (and any feedback) resolved. The
+    /// default — wake every following slot — makes a `Dynamic` schedule
+    /// equivalent to a `Dense` one.
+    ///
+    /// A hint must only skip slots in which `v` would provably return
+    /// [`Action::Idle`] without consuming randomness; then energy, clock,
+    /// and random streams are bit-identical to the dense loop.
+    fn next_wake(&mut self, v: NodeId, t: u64) -> Option<u64> {
+        let _ = v;
+        Some(t + 1)
+    }
 }
 
 /// Builds a [`SlotBehavior`] from two closures — handy in tests.
@@ -47,12 +72,242 @@ where
     FnBehavior(act, feedback)
 }
 
+/// A CSR-backed sparse slot schedule: the possibly-active slots of one
+/// primitive, each with its participant row stored in one flat array and
+/// borrowed back as a `&[NodeId]` slice — no per-slot `Vec` allocation.
+///
+/// Build with [`push`] (slots strictly increasing), drive with
+/// [`Schedule::Sparse`]. Reusable across primitives.
+///
+/// [`push`]: SparseSchedule::push
+#[derive(Debug, Clone)]
+pub struct SparseSchedule {
+    slots: Vec<Slot>,
+    /// Degree-prefix bounds into `participants`; length `slots.len() + 1`.
+    offsets: Vec<u32>,
+    participants: Vec<NodeId>,
+}
+
+impl Default for SparseSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SparseSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        SparseSchedule {
+            slots: Vec::new(),
+            offsets: vec![0],
+            participants: Vec::new(),
+        }
+    }
+
+    /// Appends `slot` with its participant set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not strictly after the last pushed slot.
+    pub fn push(&mut self, slot: Slot, participants: impl IntoIterator<Item = NodeId>) {
+        if let Some(&last) = self.slots.last() {
+            assert!(
+                slot > last,
+                "schedule slots must be strictly increasing (slot {slot} after {})",
+                last + 1
+            );
+        }
+        self.slots.push(slot);
+        self.participants.extend(participants);
+        self.offsets.push(self.participants.len() as u32);
+    }
+
+    /// The `(slot, participant row)` pairs, in increasing slot order.
+    pub fn entries(&self) -> impl Iterator<Item = (Slot, &[NodeId])> + '_ {
+        self.slots.iter().enumerate().map(move |(i, &t)| {
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            (t, &self.participants[lo..hi])
+        })
+    }
+
+    /// The number of scheduled slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The total number of scheduled participant polls (Σ row lengths).
+    pub fn total_participants(&self) -> usize {
+        self.participants.len()
+    }
+}
+
+/// How one primitive's slots map to participant sets — the unified driving
+/// API behind [`Sim::drive`].
+///
+/// Every variant occupies local slots `0..slots` on the clock; behaviors
+/// see 0-based local slot numbers either way. Unscheduled slots are
+/// batch-skipped ([`Sim::skip`]) and never poll anyone, so host cost is
+/// proportional to scheduled participant polls, not `devices × slots`.
+#[derive(Debug)]
+pub enum Schedule<'a> {
+    /// Every slot polls the same participant set (the classic dense loop).
+    Dense {
+        /// The devices polled in every slot.
+        participants: &'a [NodeId],
+        /// The number of slots.
+        slots: u64,
+    },
+    /// Only the listed slots poll anyone; everything between is skipped in
+    /// one clock batch.
+    Sparse {
+        /// The CSR-backed slot → participants map.
+        schedule: &'a SparseSchedule,
+        /// The total slots the primitive occupies (≥ every scheduled slot).
+        slots: u64,
+    },
+    /// A wake-queue fed by the behavior's [`SlotBehavior::first_wake`] /
+    /// [`SlotBehavior::next_wake`] hints: each device is polled exactly at
+    /// the slots it asks for, so devices that are done — or asleep between
+    /// data-dependent wake times — cost nothing.
+    Dynamic {
+        /// The devices offered a first wake.
+        participants: &'a [NodeId],
+        /// The number of slots; wake hints at or beyond it are dropped.
+        slots: u64,
+    },
+}
+
+/// The wake queue behind [`Schedule::Dynamic`]: a calendar ring of
+/// per-slot buckets covering the next [`WakeQueue::WINDOW`] slots — O(1)
+/// enqueue, one occupancy-bitmap word scan to find the next busy slot —
+/// with a `BTreeMap` overflow for wakes farther out.
+///
+/// The ring matters because the common wake hint is `t + 1` (an active
+/// device polling every slot): routing those through a `BTreeMap` costs a
+/// tree probe per device per slot, which dominated large dynamic
+/// primitives. Bucket `Vec`s are recycled through a pool, so the steady
+/// state allocates nothing.
+struct WakeQueue {
+    /// Bucket for slot `t` (with `base ≤ t < base + ring.len()`) is
+    /// `ring[t % ring.len()]`.
+    ring: Vec<Vec<NodeId>>,
+    /// Occupancy bitmap over ring indices.
+    occupied: Vec<u64>,
+    /// Wakes at or beyond `base + ring.len()` at enqueue time.
+    far: BTreeMap<u64, Vec<NodeId>>,
+    /// Recycled bucket allocations.
+    pool: Vec<Vec<NodeId>>,
+    /// The earliest slot still queueable; advances past each popped slot.
+    base: u64,
+}
+
+impl WakeQueue {
+    const WINDOW: u64 = 1024;
+
+    fn new(slots: u64) -> WakeQueue {
+        let win = Self::WINDOW.min(slots.max(1)) as usize;
+        WakeQueue {
+            ring: (0..win).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; win.div_ceil(64)],
+            far: BTreeMap::new(),
+            pool: Vec::new(),
+            base: 0,
+        }
+    }
+
+    fn push(&mut self, t: u64, v: NodeId) {
+        debug_assert!(t >= self.base, "wake {t} before queue base {}", self.base);
+        let len = self.ring.len() as u64;
+        if t - self.base < len {
+            let i = (t % len) as usize;
+            self.ring[i].push(v);
+            self.occupied[i >> 6] |= 1 << (i & 63);
+        } else {
+            self.far
+                .entry(t)
+                .or_insert_with(|| self.pool.pop().unwrap_or_default())
+                .push(v);
+        }
+    }
+
+    /// The earliest queued slot, if any.
+    fn next_slot(&self) -> Option<u64> {
+        let len = self.ring.len();
+        let start = (self.base % len as u64) as usize;
+        let ring_next = self
+            .scan_range(start, len)
+            .map(|i| i - start)
+            .or_else(|| self.scan_range(0, start).map(|i| len - start + i))
+            .map(|steps| self.base + steps as u64);
+        let far_next = self.far.keys().next().copied();
+        match (ring_next, far_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// First occupied ring index in `lo..hi`, scanning bitmap words.
+    fn scan_range(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let lo_w = lo >> 6;
+        let hi_w = (hi - 1) >> 6;
+        for w in lo_w..=hi_w {
+            let mut word = self.occupied[w];
+            if w == lo_w {
+                word &= !0u64 << (lo & 63);
+            }
+            if w == hi_w && (hi & 63) != 0 {
+                word &= (1u64 << (hi & 63)) - 1;
+            }
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Takes the batch queued for slot `t` (from [`WakeQueue::next_slot`])
+    /// and advances the queue past it.
+    fn pop(&mut self, t: u64) -> Vec<NodeId> {
+        let len = self.ring.len() as u64;
+        let mut batch = if t - self.base < len {
+            let i = (t % len) as usize;
+            self.occupied[i >> 6] &= !(1 << (i & 63));
+            std::mem::replace(&mut self.ring[i], self.pool.pop().unwrap_or_default())
+        } else {
+            self.pool.pop().unwrap_or_default()
+        };
+        // A slot can sit in both stores: enqueued far, then `base`
+        // advanced to within a window of it.
+        if let Some(extra) = self.far.remove(&t) {
+            batch.extend_from_slice(&extra);
+            self.recycle(extra);
+        }
+        self.base = t + 1;
+        batch
+    }
+
+    fn recycle(&mut self, mut bucket: Vec<NodeId>) {
+        bucket.clear();
+        self.pool.push(bucket);
+    }
+}
+
 /// A synchronous radio network simulation with a global slot clock.
 ///
 /// Algorithms drive the simulation as a sequence of primitives via
-/// [`Sim::run`], interleaved with [`Sim::skip`] for slot ranges in which the
-/// algorithm's schedule provably keeps every device idle. Energy is metered
-/// exactly; time is the global clock.
+/// [`Sim::drive`] (dense, sparse, or dynamically scheduled — see
+/// [`Schedule`]), interleaved with [`Sim::skip`] for slot ranges in which
+/// the algorithm's schedule provably keeps every device idle. Energy is
+/// metered exactly; time is the global clock.
 ///
 /// The master `seed` is exposed so algorithm implementations can derive
 /// per-node randomness with [`crate::rng`]; the engine itself is
@@ -67,6 +322,9 @@ pub struct Sim {
     seed: u64,
     /// Scratch: per-node index+1 into the current slot's sender list.
     sending: Vec<u32>,
+    /// Scratch: the packed transmitting set of the current slot — the
+    /// word-parallel state listeners probe during collision resolution.
+    tx: BitSet,
 }
 
 impl Sim {
@@ -86,6 +344,7 @@ impl Sim {
             trace: None,
             seed,
             sending: vec![0; n],
+            tx: BitSet::new(n),
         }
     }
 
@@ -153,8 +412,107 @@ impl Sim {
         self.trace.as_ref()
     }
 
+    /// Runs one primitive under `schedule` — the single driving core every
+    /// schedule shape goes through.
+    ///
+    /// The clock advances over exactly the schedule's `slots` slots;
+    /// unscheduled stretches are batch-skipped via [`Sim::skip`] without
+    /// polling any behavior. Collision resolution probes the packed
+    /// transmitting set per CSR neighbor-row entry with model-specific
+    /// early exit (see [`crate::BitSet`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scheduled slot is out of range, a participant id is out
+    /// of range, a [`Schedule::Dynamic`] wake hint is not strictly in the
+    /// future, or (debug builds) a slot's participants contain duplicates.
+    pub fn drive<M, B>(&mut self, schedule: Schedule<'_>, behavior: &mut B)
+    where
+        M: Clone + core::fmt::Debug,
+        B: SlotBehavior<M>,
+    {
+        let mut senders: Vec<(NodeId, M)> = Vec::new();
+        let mut listeners: Vec<NodeId> = Vec::new();
+        match schedule {
+            Schedule::Dense {
+                participants,
+                slots,
+            } => {
+                self.debug_check_distinct(participants);
+                for t in 0..slots {
+                    self.step_slot(
+                        participants,
+                        t,
+                        behavior,
+                        &mut senders,
+                        &mut listeners,
+                        false,
+                    );
+                }
+            }
+            Schedule::Sparse { schedule, slots } => {
+                let mut next = 0u64;
+                for (t, participants) in schedule.entries() {
+                    assert!(t < slots, "scheduled slot {t} outside 0..{slots}");
+                    self.debug_check_distinct(participants);
+                    self.skip(t - next);
+                    self.step_slot(
+                        participants,
+                        t,
+                        behavior,
+                        &mut senders,
+                        &mut listeners,
+                        false,
+                    );
+                    next = t + 1;
+                }
+                self.skip(slots - next);
+            }
+            Schedule::Dynamic {
+                participants,
+                slots,
+            } => {
+                self.debug_check_distinct(participants);
+                // Each device has at most one pending wake, so batches are
+                // duplicate-free.
+                let mut wake = WakeQueue::new(slots);
+                for &v in participants {
+                    if let Some(t) = behavior.first_wake(v) {
+                        if t < slots {
+                            wake.push(t, v);
+                        }
+                    }
+                }
+                let mut next = 0u64;
+                while let Some(t) = wake.next_slot() {
+                    let mut batch = wake.pop(t);
+                    // Poll in ascending id order — the same order a dense
+                    // loop over a sorted participant list would use.
+                    batch.sort_unstable();
+                    self.skip(t - next);
+                    self.step_slot(&batch, t, behavior, &mut senders, &mut listeners, false);
+                    next = t + 1;
+                    for &v in &batch {
+                        if let Some(t2) = behavior.next_wake(v, t) {
+                            assert!(t2 > t, "device {v} scheduled non-future wake {t2} <= {t}");
+                            if t2 < slots {
+                                wake.push(t2, v);
+                            }
+                        }
+                    }
+                    wake.recycle(batch);
+                }
+                self.skip(slots - next);
+            }
+        }
+    }
+
     /// Runs one primitive: `slots` slots in which exactly `participants`
     /// may act (all other devices idle).
+    ///
+    /// Deprecated path: thin wrapper over [`Sim::drive`] with
+    /// [`Schedule::Dense`], kept so pre-`Schedule` call sites migrate
+    /// incrementally. New code should call `drive` directly.
     ///
     /// `participants` must not contain duplicates.
     ///
@@ -166,19 +524,13 @@ impl Sim {
         M: Clone + core::fmt::Debug,
         B: SlotBehavior<M>,
     {
-        debug_assert!(
-            {
-                let mut seen = participants.to_vec();
-                seen.sort_unstable();
-                seen.windows(2).all(|w| w[0] != w[1])
+        self.drive(
+            Schedule::Dense {
+                participants,
+                slots,
             },
-            "duplicate participants"
-        );
-        let mut senders: Vec<(NodeId, M)> = Vec::new();
-        let mut listeners: Vec<NodeId> = Vec::new();
-        for t in 0..slots {
-            self.step_slot(participants, t, behavior, &mut senders, &mut listeners);
-        }
+            behavior,
+        )
     }
 
     /// Runs one primitive of `slots` slots under a *sparse public
@@ -187,10 +539,10 @@ impl Sim {
     /// all devices and advances the clock in one batch (the [`skip`] path),
     /// never polling any behavior.
     ///
-    /// This is the engine-level batching that keeps schedules with long
-    /// idle stretches — Theorem 27's per-ID reserved intervals, TDMA frames
-    /// — from costing wall-clock proportional to their slot count: cost is
-    /// `O(Σ |scheduled participants|)`, not `O(devices × slots)`.
+    /// Deprecated path: thin wrapper that copies the per-slot `Vec`s into
+    /// a [`SparseSchedule`] and calls [`Sim::drive`]. New code should
+    /// build the `SparseSchedule` directly (one flat allocation, rows
+    /// borrowed as slices) and drive [`Schedule::Sparse`].
     ///
     /// Scheduled slots must be strictly increasing and `< slots`; a
     /// device listed in a slot may still act [`Action::Idle`] there.
@@ -210,33 +562,65 @@ impl Sim {
         M: Clone + core::fmt::Debug,
         B: SlotBehavior<M>,
     {
+        let mut sparse = SparseSchedule::new();
+        for (t, participants) in schedule {
+            sparse.push(*t, participants.iter().copied());
+        }
+        self.drive(
+            Schedule::Sparse {
+                schedule: &sparse,
+                slots,
+            },
+            behavior,
+        )
+    }
+
+    /// The retained dense reference loop: semantically identical to
+    /// driving [`Schedule::Dense`], but resolving every listener through
+    /// the original iterator-based neighbor scan instead of the packed
+    /// transmitting-set probe. Kept as the oracle for the dense-vs-bitset
+    /// differential suite and as the `dense` side of the slots-per-second
+    /// benchmark; production call sites should use [`Sim::drive`].
+    pub fn run_reference<M, B>(&mut self, participants: &[NodeId], slots: u64, behavior: &mut B)
+    where
+        M: Clone + core::fmt::Debug,
+        B: SlotBehavior<M>,
+    {
+        self.debug_check_distinct(participants);
         let mut senders: Vec<(NodeId, M)> = Vec::new();
         let mut listeners: Vec<NodeId> = Vec::new();
-        let mut next = 0u64;
-        for (t, participants) in schedule {
-            assert!(
-                *t >= next,
-                "schedule slots must be strictly increasing (slot {t} after {next})"
+        for t in 0..slots {
+            self.step_slot(
+                participants,
+                t,
+                behavior,
+                &mut senders,
+                &mut listeners,
+                true,
             );
-            assert!(*t < slots, "scheduled slot {t} outside 0..{slots}");
-            debug_assert!(
-                {
-                    let mut seen = participants.to_vec();
-                    seen.sort_unstable();
-                    seen.windows(2).all(|w| w[0] != w[1])
-                },
-                "duplicate participants in slot {t}"
-            );
-            self.skip(t - next);
-            self.step_slot(participants, *t, behavior, &mut senders, &mut listeners);
-            next = t + 1;
         }
-        self.skip(slots - next);
+    }
+
+    /// O(k) duplicate-participant check against the `sending` scratch
+    /// (all-zero between slots): stamp every participant, panic on a
+    /// repeat, unstamp. One shared implementation for all [`Schedule`]
+    /// variants; debug builds only (release builds skip the scan).
+    fn debug_check_distinct(&mut self, participants: &[NodeId]) {
+        if cfg!(debug_assertions) {
+            for &v in participants {
+                assert!(self.sending[v] == 0, "duplicate participant {v}");
+                self.sending[v] = u32::MAX;
+            }
+            for &v in participants {
+                self.sending[v] = 0;
+            }
+        }
     }
 
     /// Simulates one slot (local slot number `t`) for `participants`,
     /// advancing the clock by one. `senders`/`listeners` are caller-owned
-    /// scratch so multi-slot drivers reuse the allocations.
+    /// scratch so multi-slot drivers reuse the allocations. `reference`
+    /// selects the iterator-based resolver ([`Sim::run_reference`]).
     fn step_slot<M, B>(
         &mut self,
         participants: &[NodeId],
@@ -244,6 +628,7 @@ impl Sim {
         behavior: &mut B,
         senders: &mut Vec<(NodeId, M)>,
         listeners: &mut Vec<NodeId>,
+        reference: bool,
     ) where
         M: Clone + core::fmt::Debug,
         B: SlotBehavior<M>,
@@ -279,15 +664,26 @@ impl Sim {
         }
         for (i, (v, _)) in senders.iter().enumerate() {
             self.sending[*v] = i as u32 + 1;
+            self.tx.insert(*v);
         }
         for &v in listeners.iter() {
-            let fb = resolve(
-                self.model,
-                self.graph.neighbors(v).filter_map(|u| {
-                    let idx = self.sending[u];
-                    (idx != 0).then(|| (u, senders[idx as usize - 1].1.clone()))
-                }),
-            );
+            let fb = if reference {
+                resolve(
+                    self.model,
+                    self.graph.neighbors(v).filter_map(|u| {
+                        let idx = self.sending[u];
+                        (idx != 0).then(|| (u, senders[idx as usize - 1].1.clone()))
+                    }),
+                )
+            } else {
+                resolve_row(
+                    self.model,
+                    self.graph.neighbor_row(v),
+                    &self.tx,
+                    &self.sending,
+                    senders,
+                )
+            };
             if let Some(tr) = &mut self.trace {
                 let kind = match &fb {
                     Feedback::Silence => TraceKind::HeardSilence,
@@ -301,6 +697,7 @@ impl Sim {
         }
         for (v, _) in senders.iter() {
             self.sending[*v] = 0;
+            self.tx.remove(*v);
         }
         self.clock += 1;
     }
@@ -604,6 +1001,244 @@ mod tests {
             sparse_sim.meter().idle_skipped(),
             SLOTS - schedule.len() as u64
         );
+    }
+
+    #[test]
+    fn dynamic_schedule_with_default_hints_matches_dense() {
+        // With the default first_wake/next_wake (wake every slot), a
+        // Dynamic schedule must be indistinguishable from Dense: same
+        // feedback, energy, clock, and zero idle_skipped.
+        let run_with = |dynamic: bool| {
+            let mut sim = Sim::new(star(2), Model::Cd, 0);
+            let mut got = Vec::new();
+            let mut b = from_fns(
+                |v, t| {
+                    if v == 0 && t % 2 == 1 {
+                        Action::Listen
+                    } else if v != 0 && t % 2 == 1 {
+                        Action::Send(v as u8)
+                    } else {
+                        Action::Idle
+                    }
+                },
+                |v, t, fb| got.push((v, t, fb)),
+            );
+            let participants: Vec<NodeId> = vec![0, 1, 2];
+            if dynamic {
+                sim.drive(
+                    Schedule::Dynamic {
+                        participants: &participants,
+                        slots: 6,
+                    },
+                    &mut b,
+                );
+            } else {
+                sim.drive(
+                    Schedule::Dense {
+                        participants: &participants,
+                        slots: 6,
+                    },
+                    &mut b,
+                );
+            }
+            drop(b);
+            (
+                got,
+                sim.now(),
+                (0..3).map(|v| sim.meter().energy(v)).collect::<Vec<_>>(),
+                sim.meter().idle_skipped(),
+            )
+        };
+        assert_eq!(run_with(false), run_with(true));
+    }
+
+    #[test]
+    fn dynamic_relay_chain_matches_dense_and_skips_idle_slots() {
+        // The relay-chain scenario again, this time driven dynamically:
+        // wake hints only skip provably-idle slots, so the informed set,
+        // per-node energy, clock, and last_active must all match the dense
+        // loop bit-for-bit while the host only polls the active devices.
+        const N: usize = 6;
+        const SLOTS: u64 = 3 * (N as u64 - 1) + 1;
+        struct Relay {
+            informed: Vec<bool>,
+        }
+        impl Relay {
+            fn roles(t: u64) -> Option<(NodeId, NodeId)> {
+                (t % 3 == 0 && (t / 3) as usize + 1 < N)
+                    .then(|| ((t / 3) as usize, (t / 3) as usize + 1))
+            }
+        }
+        impl SlotBehavior<u8> for Relay {
+            fn act(&mut self, v: NodeId, t: u64) -> Action<u8> {
+                match Relay::roles(t) {
+                    Some((sender, _)) if v == sender && self.informed[v] => Action::Send(7),
+                    Some((_, listener)) if v == listener => Action::Listen,
+                    _ => Action::Idle,
+                }
+            }
+            fn feedback(&mut self, v: NodeId, _t: u64, fb: Feedback<u8>) {
+                if matches!(fb, Feedback::One(7)) {
+                    self.informed[v] = true;
+                }
+            }
+            // Node v's only possibly-active slots: listen at 3(v-1), send
+            // at 3v (senders run 0..N-1). Every skipped slot is Idle by
+            // construction and draws no randomness.
+            fn first_wake(&mut self, v: NodeId) -> Option<u64> {
+                if v == 0 {
+                    Some(0)
+                } else {
+                    Some(3 * (v as u64 - 1))
+                }
+            }
+            fn next_wake(&mut self, v: NodeId, t: u64) -> Option<u64> {
+                if t == 3 * (v as u64) {
+                    None // just had the send slot
+                } else if v + 1 < N {
+                    Some(3 * v as u64)
+                } else {
+                    None // the far endpoint never sends
+                }
+            }
+        }
+        let path =
+            || Graph::from_edges(N, &(0..N - 1).map(|v| (v, v + 1)).collect::<Vec<_>>()).unwrap();
+        let fresh = || Relay {
+            informed: std::iter::once(true).chain((1..N).map(|_| false)).collect(),
+        };
+        let all: Vec<NodeId> = (0..N).collect();
+
+        let mut dense_sim = Sim::new(path(), Model::NoCd, 0);
+        let mut dense = fresh();
+        dense_sim.drive(
+            Schedule::Dense {
+                participants: &all,
+                slots: SLOTS,
+            },
+            &mut dense,
+        );
+
+        let mut dyn_sim = Sim::new(path(), Model::NoCd, 0);
+        let mut dynamic = fresh();
+        dyn_sim.drive(
+            Schedule::Dynamic {
+                participants: &all,
+                slots: SLOTS,
+            },
+            &mut dynamic,
+        );
+
+        assert_eq!(dense.informed, vec![true; N]);
+        assert_eq!(dynamic.informed, dense.informed);
+        for v in 0..N {
+            assert_eq!(
+                dense_sim.meter().energy(v),
+                dyn_sim.meter().energy(v),
+                "node {v} energy differs"
+            );
+        }
+        assert_eq!(dense_sim.now(), dyn_sim.now());
+        assert_eq!(
+            dense_sim.meter().last_active(),
+            dyn_sim.meter().last_active()
+        );
+        // Slots with no pending wake were batch-skipped, not simulated.
+        assert_eq!(dyn_sim.meter().idle_skipped(), 2 * (N as u64 - 1) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-future wake")]
+    fn dynamic_rejects_non_future_wakes() {
+        let mut sim = Sim::new(star(1), Model::Cd, 0);
+        struct Bad;
+        impl SlotBehavior<u8> for Bad {
+            fn act(&mut self, _v: NodeId, _t: u64) -> Action<u8> {
+                Action::Idle
+            }
+            fn feedback(&mut self, _v: NodeId, _t: u64, _fb: Feedback<u8>) {}
+            fn next_wake(&mut self, _v: NodeId, t: u64) -> Option<u64> {
+                Some(t)
+            }
+        }
+        sim.drive(
+            Schedule::Dynamic {
+                participants: &[0],
+                slots: 10,
+            },
+            &mut Bad,
+        );
+    }
+
+    #[test]
+    fn sparse_schedule_is_reusable_across_primitives() {
+        // One SparseSchedule built once, driven twice: the second primitive
+        // sees fresh 0-based local slots and the clock keeps advancing.
+        let mut sparse = SparseSchedule::new();
+        sparse.push(1, [0usize]);
+        sparse.push(4, [0usize, 1]);
+        assert_eq!(sparse.len(), 2);
+        assert!(!sparse.is_empty());
+        assert_eq!(sparse.total_participants(), 3);
+        let rows: Vec<(Slot, Vec<NodeId>)> =
+            sparse.entries().map(|(t, row)| (t, row.to_vec())).collect();
+        assert_eq!(rows, vec![(1, vec![0]), (4, vec![0, 1])]);
+
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut sim = Sim::new(g, Model::Cd, 0);
+        let mut polls = Vec::new();
+        let mut b = from_fns(
+            |v, t| {
+                polls.push((v, t));
+                Action::<u8>::Idle
+            },
+            |_, _, _| {},
+        );
+        sim.drive(
+            Schedule::Sparse {
+                schedule: &sparse,
+                slots: 6,
+            },
+            &mut b,
+        );
+        sim.drive(
+            Schedule::Sparse {
+                schedule: &sparse,
+                slots: 6,
+            },
+            &mut b,
+        );
+        drop(b);
+        assert_eq!(sim.now(), 12);
+        assert_eq!(polls, vec![(0, 1), (0, 4), (1, 4), (0, 1), (0, 4), (1, 4)]);
+    }
+
+    #[test]
+    fn run_reference_matches_bitset_drive() {
+        // The retained iterator-based oracle and the bitset path must agree
+        // exactly on a broadcast with collisions.
+        let run_with = |reference: bool| {
+            let mut sim = Sim::new(star(3), Model::NoCd, 0);
+            let mut got = Vec::new();
+            let mut b = from_fns(
+                |v, t| match (v, t) {
+                    (0, _) => Action::Listen,
+                    (v, t) if v as u64 % 2 == t % 2 => Action::Send(v as u8),
+                    _ => Action::Idle,
+                },
+                |v, t, fb| got.push((v, t, fb)),
+            );
+            let all: Vec<NodeId> = (0..4).collect();
+            if reference {
+                sim.run_reference(&all, 4, &mut b);
+            } else {
+                sim.run(&all, 4, &mut b);
+            }
+            drop(b);
+            let energy: Vec<u64> = (0..4).map(|v| sim.meter().energy(v)).collect();
+            (got, energy, sim.now(), sim.meter().last_active())
+        };
+        assert_eq!(run_with(true), run_with(false));
     }
 
     #[test]
