@@ -170,8 +170,9 @@ pub struct MetricFit {
     /// The growth class.
     pub class: GrowthClass,
     /// Seed-level bootstrap percentile CI on the power-law exponent
-    /// ([`stats::CI_LEVEL`] two-sided, [`stats::DEFAULT_RESAMPLES`]
-    /// resamples; `None` when the point fit itself is unavailable).
+    /// ([`stats::CI_LEVEL`] two-sided, over the run's resample count —
+    /// [`stats::DEFAULT_RESAMPLES`] unless `--resamples` overrode it;
+    /// `None` when the point fit itself is unavailable).
     pub exponent_ci: Option<(f64, f64)>,
     /// Fraction of bootstrap refits whose growth class matched [`class`]
     /// (`None` when no resample refit successfully).
@@ -195,8 +196,9 @@ fn bootstrap_fit(
     groups: &[&[f64]],
     point_class: GrowthClass,
     seed: u64,
+    resamples: usize,
 ) -> (Option<(f64, f64)>, Option<f64>) {
-    let refits = stats::bootstrap_refit(groups, stats::DEFAULT_RESAMPLES, seed, |means| {
+    let refits = stats::bootstrap_refit(groups, resamples, seed, |means| {
         let series: Vec<(f64, f64)> = ns.iter().copied().zip(means.iter().copied()).collect();
         let points = usable(&series, 1.0).len();
         let power = fit_power_law(&series)?;
@@ -210,7 +212,7 @@ fn bootstrap_fit(
     // artificially narrow and the agreement denominator tiny. Report no
     // CI instead — the gate then falls back to the tolerance band and the
     // fit is never class-confident.
-    if refits.len() * 2 < stats::DEFAULT_RESAMPLES {
+    if refits.len() * 2 < resamples {
         return (None, None);
     }
     let mut slopes: Vec<f64> = refits.iter().map(|(s, _)| *s).collect();
@@ -264,13 +266,17 @@ fn param_bool(case: &Case, key: &str) -> bool {
 
 /// Groups scenario-matrix cases into `(algorithm, family, model)` cells
 /// and fits every [`FIT_METRICS`] series across each cell's n axis,
-/// bootstrapping a CI on every fitted exponent from the per-seed
-/// measurements ([`stats`]).
+/// bootstrapping a CI on every fitted exponent (`resamples` draws) from
+/// the per-seed measurements ([`stats`]).
 ///
-/// Cases missing any of the three identity params are skipped; cells keep
-/// first-appearance order, sizes sort ascending within a cell. A cell is
-/// `truncated` if any of its cases carries the `truncated: true` param.
-pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
+/// Cases missing any of the three identity params are skipped, and so
+/// are fault-injected cases (a `fault` param other than `"none"`): the
+/// scaling fits describe the paper's clean-channel bounds, and a faulted
+/// rerun of the same `(algorithm, family, model, n)` point would
+/// otherwise corrupt the clean series. Cells keep first-appearance
+/// order, sizes sort ascending within a cell. A cell is `truncated` if
+/// any of its cases carries the `truncated: true` param.
+pub fn scaling_fits(cases: &[Case], resamples: usize) -> Vec<CellFit> {
     struct Row {
         n: f64,
         // Per-metric mean and per-metric per-seed values.
@@ -295,6 +301,9 @@ pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
         ) else {
             continue;
         };
+        if param_str(case, "fault").is_some_and(|f| f != "none") {
+            continue;
+        }
         let means: Vec<f64> = FIT_METRICS
             .iter()
             .map(|m| case.summary.metric(m).map_or(f64::NAN, |s| s.mean))
@@ -347,7 +356,7 @@ pub fn scaling_fits(cases: &[Case]) -> Vec<CellFit> {
                             &cell.model,
                             metric,
                         ]);
-                        bootstrap_fit(&ns, &groups, class, seed)
+                        bootstrap_fit(&ns, &groups, class, seed, resamples)
                     } else {
                         (None, None)
                     };
@@ -558,7 +567,7 @@ mod tests {
             cases.push(case("alg_a", "cycle", "cd", n, (n as f64).powf(2.0)));
         }
         cases.push(case("alg_b", "cycle", "cd", 16, 1.0));
-        let fits = scaling_fits(&cases);
+        let fits = scaling_fits(&cases, stats::DEFAULT_RESAMPLES);
         assert_eq!(fits.len(), 2);
         let a = &fits[0];
         assert_eq!(
@@ -587,7 +596,7 @@ mod tests {
         let mut c1 = case("alg_a", "path", "local", 16, 4.0);
         c1.params.push(("truncated", Json::Bool(true)));
         let c2 = case("alg_a", "path", "local", 32, 8.0);
-        let fits = scaling_fits(&[c1, c2]);
+        let fits = scaling_fits(&[c1, c2], stats::DEFAULT_RESAMPLES);
         assert_eq!(fits.len(), 1);
         assert!(fits[0].truncated);
     }
@@ -598,7 +607,7 @@ mod tests {
             .iter()
             .map(|&n| case("alg_a", "cycle", "cd", n, (n as f64).ln().powi(2)))
             .collect();
-        let fits = scaling_fits(&cases);
+        let fits = scaling_fits(&cases, stats::DEFAULT_RESAMPLES);
         let doc = fits_to_json(&fits);
         let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
         assert_eq!(parsed, doc);
@@ -665,7 +674,7 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_brackets_the_true_exponent_and_is_reproducible() {
-        let fits = scaling_fits(&noisy_cases(1.5, 6));
+        let fits = scaling_fits(&noisy_cases(1.5, 6), stats::DEFAULT_RESAMPLES);
         let emax = &fits[0].metrics[0];
         let (lo, hi) = emax.exponent_ci.expect("CI for a fitted series");
         assert!(lo <= hi);
@@ -678,7 +687,7 @@ mod tests {
         assert_eq!(emax.class, GrowthClass::Polynomial);
         assert!(emax.class_confident, "agreement {:?}", emax.class_agreement);
         // Same inputs, same CI — the resampler is identity-seeded.
-        let again = scaling_fits(&noisy_cases(1.5, 6));
+        let again = scaling_fits(&noisy_cases(1.5, 6), stats::DEFAULT_RESAMPLES);
         assert_eq!(again[0].metrics[0].exponent_ci, Some((lo, hi)));
     }
 
@@ -690,7 +699,7 @@ mod tests {
             .iter()
             .map(|&n| case("alg_a", "cycle", "cd", n, (n as f64).powf(2.0)))
             .collect();
-        let fits = scaling_fits(&cases);
+        let fits = scaling_fits(&cases, stats::DEFAULT_RESAMPLES);
         let emax = &fits[0].metrics[0];
         let (lo, hi) = emax.exponent_ci.unwrap();
         assert!((lo - hi).abs() < 1e-12, "[{lo}, {hi}]");
@@ -713,6 +722,7 @@ mod tests {
             &[g1, g2, g3],
             GrowthClass::Insufficient,
             7,
+            stats::DEFAULT_RESAMPLES,
         );
         assert_eq!(ci, None, "mostly-failed bootstrap must not yield a CI");
         assert_eq!(agreement, None);
@@ -725,6 +735,7 @@ mod tests {
             &[h1, h2, h3],
             GrowthClass::Polynomial,
             7,
+            stats::DEFAULT_RESAMPLES,
         );
         assert!(ci.is_some());
         assert!(agreement.is_some());
@@ -733,7 +744,10 @@ mod tests {
     #[test]
     fn unfittable_series_have_no_ci_and_no_confidence() {
         // A single-point cell fits nothing: no CI, not confident.
-        let fits = scaling_fits(&[case("alg_b", "cycle", "cd", 16, 1.0)]);
+        let fits = scaling_fits(
+            &[case("alg_b", "cycle", "cd", 16, 1.0)],
+            stats::DEFAULT_RESAMPLES,
+        );
         let emax = &fits[0].metrics[0];
         assert!(emax.power.is_none());
         assert!(emax.exponent_ci.is_none());

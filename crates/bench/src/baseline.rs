@@ -119,7 +119,10 @@ pub fn baseline_doc(result: &ExperimentResult) -> Json {
     // cell; other experiments compute theirs here (usually no cells).
     let fit_rows = match result.extra.iter().find(|(k, _)| *k == "fits") {
         Some((_, fits)) => fit_rows_from_json(fits),
-        None => fit_rows_from_cells(&analysis::scaling_fits(&result.cases)),
+        None => fit_rows_from_cells(&analysis::scaling_fits(
+            &result.cases,
+            result.config.resamples(),
+        )),
     };
     Json::obj()
         .field("schema_version", crate::experiments::SCHEMA_VERSION)

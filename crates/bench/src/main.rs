@@ -59,6 +59,10 @@ Options:
                          (local, cd, cd-star, no-cd)
   --algo <NAME>          Scenario matrix: only this algorithm
                          (e.g. theorem11, bgi_decay, path_theorem21)
+  --fault <NAME>         Scenario matrix: only this fault plan
+                         (none, slot-loss, crash, jammer)
+  --resamples <N>        Bootstrap resamples per fitted statistic and
+                         report CI (default 200)
   --budget-ms <N>        Scenario matrix: wall-clock budget per (algorithm,
                          family, model) cell before its n-sweep truncates
                          (0 = first size only; default 250 quick / 2000 full)
@@ -103,6 +107,14 @@ fn parse_args() -> Result<Args, String> {
             "--family" => args.config.family = Some(value("--family")?),
             "--model" => args.config.model = Some(value("--model")?),
             "--algo" => args.config.algo = Some(value("--algo")?),
+            "--fault" => args.config.fault = Some(value("--fault")?),
+            "--resamples" => {
+                let v = value("--resamples")?;
+                args.config.resamples = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --resamples {v:?}"))?,
+                );
+            }
             "--budget-ms" => {
                 let v = value("--budget-ms")?;
                 args.config.budget_ms = Some(
@@ -162,11 +174,14 @@ fn main() -> ExitCode {
     if args.update_baselines {
         // A filtered refresh would overwrite the full baseline with a
         // slice, silently un-gating every other cell — refuse instead.
-        if args.config.family.is_some() || args.config.model.is_some() || args.config.algo.is_some()
+        if args.config.family.is_some()
+            || args.config.model.is_some()
+            || args.config.algo.is_some()
+            || args.config.fault.is_some()
         {
             eprintln!(
                 "error: --update-baselines refreshes the full gate; \
-                 drop --family/--model/--algo"
+                 drop --family/--model/--algo/--fault"
             );
             return ExitCode::FAILURE;
         }

@@ -29,11 +29,17 @@ pub struct RunConfig {
     pub model: Option<String>,
     /// Scenario-matrix axis filter: only this algorithm (registry name).
     pub algo: Option<String>,
+    /// Scenario-matrix axis filter: only this fault plan (JSON key, e.g.
+    /// `"slot-loss"`; `"none"` selects the clean cells).
+    pub fault: Option<String>,
     /// Per-cell wall-clock budget in milliseconds for the scenario
     /// matrix's n-sweeps; `None` uses the mode's default
     /// ([`RunConfig::cell_budget`]). `Some(0)` truncates every cell after
     /// its first size — the deterministic floor.
     pub budget_ms: Option<u64>,
+    /// Bootstrap resamples per fitted statistic and report CI; `None`
+    /// uses [`crate::stats::DEFAULT_RESAMPLES`].
+    pub resamples: Option<usize>,
 }
 
 impl RunConfig {
@@ -99,6 +105,14 @@ impl RunConfig {
             DEFAULT_FULL_BUDGET_MS
         });
         std::time::Duration::from_millis(ms)
+    }
+
+    /// The bootstrap resample count every CI in this run draws
+    /// ([`crate::stats::DEFAULT_RESAMPLES`] unless `--resamples` pinned
+    /// it). More resamples narrow the Monte-Carlo error of the interval
+    /// endpoints at proportional cost; fewer speed up smoke runs.
+    pub fn resamples(&self) -> usize {
+        self.resamples.unwrap_or(crate::stats::DEFAULT_RESAMPLES)
     }
 
     /// The per-cell budget for the *headline* cells — the flagship

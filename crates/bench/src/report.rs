@@ -1,9 +1,15 @@
 //! Human-readable rendering of experiment results: one aligned table per
 //! experiment (params on the left, metric summaries on the right), the
 //! paper bound above, the expected shape below.
+//!
+//! Each metric gets two columns: its per-seed `mean ±std_dev`, and the
+//! width of the bootstrap 95% CI on that mean (`ci95w`, blank for
+//! single-seed cases) — a direct read on how much of a cell's value is
+//! seed noise. The resample count follows the run's `--resamples` knob.
 
 use crate::experiments::ExperimentResult;
 use crate::json::Json;
+use crate::stats;
 
 /// Renders `result` as an aligned text table.
 pub fn render(result: &ExperimentResult) -> String {
@@ -30,11 +36,16 @@ pub fn render(result: &ExperimentResult) -> String {
         }
     }
 
+    let resamples = result.config.resamples();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let header: Vec<String> = param_keys
         .iter()
         .map(|k| k.to_string())
-        .chain(metric_keys.iter().map(|k| format!("{k} (mean)")))
+        .chain(
+            metric_keys
+                .iter()
+                .flat_map(|k| [format!("{k} (mean)"), format!("{k} (ci95w)")]),
+        )
         .collect();
     for case in &result.cases {
         let mut row: Vec<String> = Vec::new();
@@ -46,6 +57,14 @@ pub fn render(result: &ExperimentResult) -> String {
                     .map_or(String::new(), |(_, v)| render_param(v)),
             );
         }
+        // The bootstrap streams are seeded from the case identity, so the
+        // rendered CI widths reproduce across reruns and machines.
+        let identity: String = case
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={}", render_param(v)))
+            .collect::<Vec<_>>()
+            .join("/");
         for key in &metric_keys {
             row.push(case.summary.metric(key).map_or(String::new(), |s| {
                 if s.min == s.max {
@@ -54,6 +73,16 @@ pub fn render(result: &ExperimentResult) -> String {
                     format!("{} ±{}", format_num(s.mean), format_num(s.std_dev))
                 }
             }));
+            let values = case.metric_values(key);
+            let ci = if values.len() >= 2 {
+                let seed = stats::seed_from_parts(&[result.spec.name, &identity, key]);
+                stats::bootstrap_ci(&values, resamples, seed, |xs| {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                })
+            } else {
+                None
+            };
+            row.push(ci.map_or(String::new(), |(lo, hi)| format_num(hi - lo)));
         }
         rows.push(row);
     }
@@ -185,6 +214,44 @@ mod tests {
         assert!(text.contains("theorem25"), "{text}");
         assert!(text.contains("energy_max"), "{text}");
         assert!(text.contains("shape:"), "{text}");
+        // Every metric gets its bootstrap-CI-width companion column.
+        assert!(text.contains("energy_max (ci95w)"), "{text}");
+    }
+
+    #[test]
+    fn multi_seed_ci_columns_are_deterministic() {
+        // The CI bootstrap streams are seeded from (experiment, case
+        // identity, metric), so rendering the same result twice — and
+        // re-running the experiment — must produce identical tables.
+        let config = RunConfig {
+            seeds: Some(3),
+            quick: true,
+            ..RunConfig::default()
+        };
+        let spec = find_experiment("table1_randomized").unwrap();
+        let a = render(&run_experiment(spec, &config));
+        let b = render(&run_experiment(spec, &config));
+        assert_eq!(a, b);
+        // With three varying seeds at least one CI cell must be filled:
+        // strictly more non-blank columns than the mean columns alone
+        // would produce is hard to count positionally, so check the
+        // cheap invariant instead — some case varies and bootstrap_ci
+        // yields a width for it.
+        let result = run_experiment(spec, &config);
+        let case = result
+            .cases
+            .iter()
+            .find(|c| {
+                c.summary
+                    .metric("time")
+                    .is_some_and(|s| s.min != s.max && c.metric_values("time").len() >= 2)
+            })
+            .expect("some case varies across seeds");
+        let values = case.metric_values("time");
+        let ci = stats::bootstrap_ci(&values, result.config.resamples(), 7, |xs| {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        });
+        assert!(ci.is_some(), "varying case yielded no CI");
     }
 
     #[test]

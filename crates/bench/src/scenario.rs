@@ -31,6 +31,18 @@
 //! sizes to `n = 10^6` under a dedicated budget
 //! ([`RunConfig::headline_cell_budget`]), so the scaling fits for the
 //! paper's flagship bounds rest on three decades of n.
+//!
+//! A *fault axis* ([`MATRIX_FAULTS`], filtered by `--fault`) crosses
+//! every cell with the [`ebc_radio::FaultPlan`]s of [`matrix_fault_plan`]:
+//! lossy slots, early crash faults, and a budgeted periodic jammer.
+//! Faulted cells run at the two smallest sizes only — the axis measures
+//! *degradation*, not scaling, so the clean cells keep the full n sweep
+//! (and the headline extension, and the scaling fits) to themselves. Each
+//! faulted seed also runs its clean twin, yielding `success_rate` (every
+//! surviving device informed), `energy_overhead_vs_clean` (total-energy
+//! ratio against the twin), and `lost_sends` columns; adapters that
+//! opt out via [`ebc_core::suite::BroadcastAlgorithm::fault_tolerant`]
+//! are tallied under `skipped_fault_intolerant`.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -38,7 +50,7 @@ use std::time::{Duration, Instant};
 
 use ebc_core::suite::{BroadcastAlgorithm, ALGORITHMS, MESSAGING_MODELS};
 use ebc_graphs::families::Family;
-use ebc_radio::{Graph, Model, Sim};
+use ebc_radio::{FaultModel, FaultPlan, Graph, JammerStrategy, Model, Sim};
 
 use crate::analysis;
 use crate::experiments::{model_name, ExperimentOutput};
@@ -62,6 +74,43 @@ fn matrix_sizes(config: &RunConfig) -> &'static [usize] {
 /// generator's exact vertex count — asking for 2^20 would overshoot to
 /// the next depth (2^21 − 1).
 const HEADLINE_EXTRA_SIZES: &[usize] = &[4096, 65536, 1048575];
+
+/// The fault axis, in presentation order: the clean baseline plus one
+/// representative of each implemented fault mode that degrades whole
+/// transmissions (edge loss and churn are exercised by the radio crate's
+/// own suites; the matrix keeps the axis small enough to cross with the
+/// full registry).
+pub const MATRIX_FAULTS: &[&str] = &["none", "slot-loss", "crash", "jammer"];
+
+/// The [`FaultPlan`] one fault-axis value denotes at size `n`.
+///
+/// The strengths are fixed, deliberately sub-lethal constants: heavy
+/// enough that `success_rate` visibly degrades somewhere in the registry,
+/// light enough that flooding still usually completes — a fault axis
+/// where every run fails says as little as one where every run succeeds.
+pub fn matrix_fault_plan(kind: &str, n: usize) -> FaultPlan {
+    match kind {
+        "none" => FaultPlan::None,
+        // A quarter of all slots lose their deliveries (senders still pay).
+        "slot-loss" => FaultPlan::SlotLoss { p: 0.25 },
+        // An eighth of the devices (never source 0) crash in the first few
+        // hundred slots, staggered so the down set grows gradually.
+        "crash" => FaultPlan::Crash {
+            schedule: (1..n)
+                .step_by(8)
+                .enumerate()
+                .map(|(i, v)| (32 * (i as u64 + 1), v))
+                .collect(),
+        },
+        // A periodic jammer whose energy budget scales with the instance:
+        // every eighth observed slot is jammed until 16n jams are spent.
+        "jammer" => FaultPlan::Jammer {
+            budget: 16 * n as u64,
+            strategy: JammerStrategy::Periodic { period: 8 },
+        },
+        other => unreachable!("unknown fault axis value {other:?}"),
+    }
+}
 
 /// Whether a cell is one of the three flagship combinations whose n axis
 /// extends to `n = 10^6`: flooding and the Theorem 11/12 broadcast
@@ -109,6 +158,11 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
         .copied()
         .filter(|a| matches(&config.algo, a.name()))
         .collect();
+    let faults: Vec<&'static str> = MATRIX_FAULTS
+        .iter()
+        .copied()
+        .filter(|f| matches(&config.fault, f))
+        .collect();
     let sizes = matrix_sizes(config);
     let budget = config.cell_budget();
 
@@ -117,29 +171,35 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
     let mut combinations = 0usize;
     let mut truncated_cells = 0usize;
     for &family in &families {
-        // One graph per (family, n), built on first use; every model,
-        // algorithm, and seed shares the same CSR allocation.
+        // One graph per (family, n), built on first use; every fault,
+        // model, algorithm, and seed shares the same CSR allocation.
         let mut graphs: BTreeMap<usize, Arc<Graph>> = BTreeMap::new();
-        for &model in &models {
-            for &alg in &algorithms {
-                let truncated = run_cell(
-                    config,
-                    family,
-                    model,
-                    alg,
-                    sizes,
-                    budget,
-                    &mut graphs,
-                    &mut cases,
-                    &mut skips,
-                    &mut combinations,
-                );
-                truncated_cells += usize::from(truncated);
+        for &fault in &faults {
+            for &model in &models {
+                for &alg in &algorithms {
+                    let truncated = run_cell(
+                        config,
+                        family,
+                        fault,
+                        model,
+                        alg,
+                        sizes,
+                        budget,
+                        &mut graphs,
+                        &mut cases,
+                        &mut skips,
+                        &mut combinations,
+                    );
+                    truncated_cells += usize::from(truncated);
+                }
             }
         }
     }
 
-    let fits = analysis::scaling_fits(&cases);
+    // Scaling fits read only the clean cells — `scaling_fits` drops
+    // faulted cases itself, so the fits section is invariant under the
+    // fault axis (and under `--fault` filters that exclude "none").
+    let fits = analysis::scaling_fits(&cases, config.resamples());
     let count = |kind: &str| -> usize {
         skips
             .iter()
@@ -147,7 +207,7 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
             .map(|s| s.count)
             .sum()
     };
-    let skipped_incompatible = count("model") + count("graph");
+    let skipped_incompatible = count("model") + count("graph") + count("fault");
     let extra = vec![
         (
             "axes",
@@ -163,6 +223,10 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                 .field(
                     "algorithms",
                     Json::Arr(algorithms.iter().map(|a| a.name().into()).collect()),
+                )
+                .field(
+                    "faults",
+                    Json::Arr(faults.iter().map(|&f| f.into()).collect()),
                 )
                 .field(
                     "sizes",
@@ -181,6 +245,7 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                 .field("skipped_incompatible", skipped_incompatible)
                 .field("skipped_incompatible_model", count("model"))
                 .field("skipped_incompatible_graph", count("graph"))
+                .field("skipped_fault_intolerant", count("fault"))
                 .field("skipped_budget", count("budget"))
                 .field("truncated_cells", truncated_cells)
                 .field("budget_ms_per_cell", budget.as_millis() as u64),
@@ -198,6 +263,7 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
                                 match s.kind {
                                     "model" => "model",
                                     "graph" => "family",
+                                    "fault" => "fault",
                                     _ => "cell",
                                 },
                                 s.axis.as_str(),
@@ -212,12 +278,13 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
     ExperimentOutput { cases, extra }
 }
 
-/// Sweeps one `(family, model, algorithm)` cell's n axis under the
+/// Sweeps one `(family, fault, model, algorithm)` cell's n axis under the
 /// wall-clock budget. Returns whether the cell was truncated.
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     config: &RunConfig,
     family: Family,
+    fault: &'static str,
     model: Model,
     alg: &'static dyn BroadcastAlgorithm,
     sizes: &[usize],
@@ -227,19 +294,24 @@ fn run_cell(
     skips: &mut Vec<Skip>,
     combinations: &mut usize,
 ) -> bool {
+    let clean = fault == "none";
     // Headline cells sweep on past the shared sizes to the million-node
-    // tier, under their own (much larger) budget.
-    let headline = is_headline(alg.name(), family, model);
+    // tier, under their own (much larger) budget; faulted cells measure
+    // degradation, not scaling, and stop after the two smallest sizes.
+    let headline = clean && is_headline(alg.name(), family, model);
     let cell_sizes: Vec<usize> = if headline {
         sizes.iter().chain(HEADLINE_EXTRA_SIZES).copied().collect()
-    } else {
+    } else if clean {
         sizes.to_vec()
+    } else {
+        sizes[..sizes.len().min(2)].to_vec()
     };
     let budget = if headline {
         config.headline_cell_budget()
     } else {
         budget
     };
+    let cell_axis = format!("{}/{}/{fault}", family.name(), model_name(model));
     let mut spent = Duration::ZERO;
     let mut truncated = false;
     let mut cell_cases: Vec<Case> = Vec::new();
@@ -249,15 +321,14 @@ fn run_cell(
             tally(skips, "model", alg.name(), model_name(model));
             continue;
         }
+        if !clean && !alg.fault_tolerant() {
+            tally(skips, "fault", alg.name(), fault);
+            continue;
+        }
         // Budget-cut before the graph is even built: a truncated headline
         // size would otherwise still pay for a million-vertex instance.
         if truncated {
-            tally(
-                skips,
-                "budget",
-                alg.name(),
-                format!("{}/{}", family.name(), model_name(model)),
-            );
+            tally(skips, "budget", alg.name(), cell_axis.clone());
             continue;
         }
         let graph = graphs
@@ -270,16 +341,46 @@ fn run_cell(
         let graph = Arc::clone(graph);
         let seeds = config.seeds_for_size(2, n, sizes[0]);
         let started = Instant::now();
-        let measurements = sweep_seeds(seeds, |seed| {
-            let mut sim = Sim::new(Arc::clone(&graph), model, seed);
-            let out = alg.run(&mut sim, 0);
-            let mut metrics = vec![
-                ("all_informed", f64::from(u8::from(out.all_informed()))),
-                ("informed_frac", out.count() as f64 / sim.graph().n() as f64),
-            ];
-            metrics.extend(standard_metrics(&sim.meter().report()));
-            metrics
-        });
+        let measurements = if clean {
+            sweep_seeds(seeds, |seed| {
+                let mut sim = Sim::new(Arc::clone(&graph), model, seed);
+                let out = alg.run(&mut sim, 0);
+                let mut metrics = vec![
+                    ("all_informed", f64::from(u8::from(out.all_informed()))),
+                    ("informed_frac", out.count() as f64 / sim.graph().n() as f64),
+                ];
+                metrics.extend(standard_metrics(&sim.meter().report()));
+                metrics
+            })
+        } else {
+            let plan = matrix_fault_plan(fault, graph.n());
+            sweep_seeds(seeds, |seed| {
+                // The clean twin: same graph, model, and seed — the
+                // denominator of the energy-overhead ratio.
+                let mut twin = Sim::new(Arc::clone(&graph), model, seed);
+                alg.run(&mut twin, 0);
+                let clean_total = twin.meter().total_energy().max(1);
+                let mut sim = Sim::with_faults(Arc::clone(&graph), model, seed, plan.clone());
+                let out = alg.run(&mut sim, 0);
+                // Success = every device that survived to the end is
+                // informed; crashed devices are casualties, not failures.
+                let success = out.informed.iter().enumerate().all(|(v, &informed)| {
+                    informed || sim.fault_state().is_some_and(|f| f.is_down(v))
+                });
+                let report = sim.meter().report();
+                let mut metrics = vec![
+                    ("success_rate", f64::from(u8::from(success))),
+                    ("informed_frac", out.count() as f64 / sim.graph().n() as f64),
+                    (
+                        "energy_overhead_vs_clean",
+                        report.total as f64 / clean_total as f64,
+                    ),
+                    ("lost_sends", report.lost_sends as f64),
+                ];
+                metrics.extend(standard_metrics(&report));
+                metrics
+            })
+        };
         spent += started.elapsed();
         cell_cases.push(Case::new(
             vec![
@@ -287,6 +388,7 @@ fn run_cell(
                 ("n", graph.n().into()),
                 ("m", graph.m().into()),
                 ("delta", graph.max_degree().into()),
+                ("fault", fault.into()),
                 ("model", model_name(model).into()),
                 ("algorithm", alg.name().into()),
             ],
@@ -301,11 +403,9 @@ fn run_cell(
     // A cell only counts as truncated if budget exhaustion actually cut
     // sizes (not when the budget ran out exactly on the last size).
     let cut = truncated
-        && skips.iter().any(|s| {
-            s.kind == "budget"
-                && s.algorithm == alg.name()
-                && s.axis == format!("{}/{}", family.name(), model_name(model))
-        });
+        && skips
+            .iter()
+            .any(|s| s.kind == "budget" && s.algorithm == alg.name() && s.axis == cell_axis);
     if cut {
         for case in &mut cell_cases {
             case.params.push(("truncated", Json::Bool(true)));
@@ -349,14 +449,16 @@ mod tests {
     use super::*;
     use crate::measure::UNLIMITED_BUDGET_MS;
 
-    /// Quick config with a zero budget: every cell runs exactly its first
-    /// size — deterministic (wall-clock-independent) and fast, which is
-    /// what most structural tests want.
+    /// Quick config with a zero budget, pinned to the clean fault axis:
+    /// every cell runs exactly its first size — deterministic
+    /// (wall-clock-independent) and fast, which is what most structural
+    /// tests want. Fault-axis tests drop the pin explicitly.
     fn quick_config() -> RunConfig {
         RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(0),
+            fault: Some("none".into()),
             ..RunConfig::default()
         }
     }
@@ -489,6 +591,8 @@ mod tests {
             family: Some("binary-tree".into()),
             model: Some("local".into()),
             algo: Some("naive_flood".into()),
+            fault: Some("none".into()),
+            ..RunConfig::default()
         });
         let counts = extra_field(&out, "skip_counts");
         assert_eq!(int_field(counts, "total_combinations"), 7);
@@ -506,6 +610,8 @@ mod tests {
             family: Some("binary-tree".into()),
             model: Some("cd".into()),
             algo: Some("naive_flood".into()),
+            fault: Some("none".into()),
+            ..RunConfig::default()
         });
         let counts = extra_field(&out, "skip_counts");
         assert_eq!(int_field(counts, "total_combinations"), 4);
@@ -520,6 +626,8 @@ mod tests {
             family: Some("cycle".into()),
             model: Some("local".into()),
             algo: Some("naive_flood".into()),
+            fault: Some("none".into()),
+            ..RunConfig::default()
         });
         assert_eq!(out.cases.len(), 1, "one case at the smallest size");
         let doc = out.cases[0].to_json();
@@ -548,6 +656,8 @@ mod tests {
             family: Some("cycle".into()),
             model: Some("local".into()),
             algo: Some("naive_flood".into()),
+            fault: Some("none".into()),
+            ..RunConfig::default()
         });
         assert_eq!(out.cases.len(), 4);
         for case in &out.cases {
@@ -609,6 +719,8 @@ mod tests {
             family: Some("cycle".into()),
             model: Some("cd".into()),
             algo: Some("theorem11".into()),
+            fault: Some("none".into()),
+            ..RunConfig::default()
         };
         let out = run_scenario_matrix(&config);
         assert_eq!(out.cases.len(), 1);
@@ -621,6 +733,132 @@ mod tests {
             let got = params.iter().find(|(k, _)| *k == key).unwrap();
             assert_eq!(got.1, Json::Str(want.into()));
         }
+    }
+
+    fn param<'a>(case: &'a Case, key: &str) -> Option<&'a Json> {
+        case.params.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    #[test]
+    fn fault_cells_emit_success_and_overhead_columns() {
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(2),
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("cycle".into()),
+            model: Some("local".into()),
+            algo: Some("naive_flood".into()),
+            fault: Some("slot-loss".into()),
+            ..RunConfig::default()
+        });
+        assert_eq!(out.cases.len(), 1);
+        let case = &out.cases[0];
+        assert_eq!(param(case, "fault"), Some(&Json::Str("slot-loss".into())));
+        for metric in [
+            "success_rate",
+            "informed_frac",
+            "energy_overhead_vs_clean",
+            "lost_sends",
+            "energy_max",
+            "time",
+        ] {
+            let s = case.summary.metric(metric).unwrap_or_else(|| {
+                panic!("fault cell missing metric {metric}: {:?}", case.summary)
+            });
+            assert!(s.mean.is_finite(), "{metric} not finite");
+        }
+        let s = case.summary.metric("success_rate").unwrap();
+        assert!((0.0..=1.0).contains(&s.mean));
+        // Flooding runs a fixed ecc+1-slot schedule (no retries), so the
+        // overhead ratio can land on either side of 1.0 — but it must
+        // stay a positive finite ratio, and with a quarter of the slots
+        // lost across two seeds the meter must tally some lost sends.
+        let overhead = case.summary.metric("energy_overhead_vs_clean").unwrap();
+        assert!(overhead.min > 0.0, "overhead ratio collapsed: {overhead:?}");
+        assert!(
+            case.summary.metric("lost_sends").unwrap().max > 0.0,
+            "slot loss at p=0.25 never cost flooding a send"
+        );
+        // Clean-only columns stay out of faulted cells.
+        assert!(case.summary.metric("all_informed").is_none());
+    }
+
+    #[test]
+    fn fault_axis_crosses_the_matrix_and_balances_skip_accounting() {
+        // No fault pin: the full axis runs. The §8 path adapter opts out
+        // of fault injection, so its active-fault combinations land in
+        // `skipped_fault_intolerant` and the balance still closes.
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("path".into()),
+            ..RunConfig::default()
+        });
+        let mut faults = std::collections::BTreeSet::new();
+        for case in &out.cases {
+            faults.insert(format!("{:?}", param(case, "fault").unwrap()));
+        }
+        assert!(faults.len() >= 4, "fault axis missing: {faults:?}");
+        let counts = extra_field(&out, "skip_counts");
+        assert!(int_field(counts, "skipped_fault_intolerant") > 0);
+        assert_eq!(
+            int_field(counts, "run")
+                + int_field(counts, "skipped_incompatible")
+                + int_field(counts, "skipped_budget"),
+            int_field(counts, "total_combinations"),
+        );
+        let pairs = extra_field(&out, "skipped_pairs").as_arr().unwrap();
+        assert!(pairs.iter().any(|p| {
+            p.get("kind").and_then(Json::as_str) == Some("fault")
+                && p.get("algorithm").and_then(Json::as_str) == Some("path_theorem21")
+        }));
+        let axes = extra_field(&out, "axes");
+        assert_eq!(axes.get("faults").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn scaling_fits_ignore_the_fault_axis() {
+        // One cheap combination across the whole fault axis, unlimited
+        // budget: the clean cell sweeps all four quick sizes, faulted
+        // cells stop at two — and the fits see only the clean series.
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(1),
+            quick: true,
+            budget_ms: Some(UNLIMITED_BUDGET_MS),
+            family: Some("cycle".into()),
+            model: Some("local".into()),
+            algo: Some("naive_flood".into()),
+            ..RunConfig::default()
+        });
+        assert_eq!(out.cases.len(), 4 + 3 * 2, "clean 4 sizes + 3 faults × 2");
+        let fits = extra_field(&out, "fits").as_arr().unwrap();
+        assert_eq!(fits.len(), 1, "faulted cases must not form fit cells");
+        assert_eq!(fits[0].get("sizes").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn crash_cells_report_partial_outcomes_in_range() {
+        // Under the crash plan success excuses the casualties (a crashed
+        // device is counted out, not against), so both rate columns must
+        // stay inside [0, 1] and the run must still inform someone — the
+        // cycle keeps a second route around each crashed relay.
+        let out = run_scenario_matrix(&RunConfig {
+            seeds: Some(2),
+            quick: true,
+            budget_ms: Some(0),
+            family: Some("cycle".into()),
+            model: Some("no-cd".into()),
+            algo: Some("bgi_decay".into()),
+            fault: Some("crash".into()),
+            ..RunConfig::default()
+        });
+        assert_eq!(out.cases.len(), 1);
+        let s = out.cases[0].summary.metric("success_rate").unwrap();
+        assert!((0.0..=1.0).contains(&s.mean), "{s:?}");
+        let frac = out.cases[0].summary.metric("informed_frac").unwrap();
+        assert!(frac.min > 0.0, "crash plan wiped out the whole run");
+        assert!(frac.max <= 1.0);
     }
 
     #[test]

@@ -131,7 +131,13 @@ pub fn bgi_decay_broadcast(sim: &mut Sim, source: NodeId, sweeps: Option<u32>) -
         rngs: &mut rngs,
     };
     b.informed[source] = true;
-    sim.run(&participants, u64::from(sweeps) * sweep_len, &mut b);
+    sim.drive(
+        Schedule::Dense {
+            participants: &participants,
+            slots: u64::from(sweeps) * sweep_len,
+        },
+        &mut b,
+    );
     BroadcastOutcome {
         informed: b.informed,
         source,

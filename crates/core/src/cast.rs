@@ -269,7 +269,11 @@ pub fn broadcast_with_labeling(
     rngs: &mut NodeRngs,
 ) -> BroadcastOutcome {
     assert!(layer_bound >= 1);
-    debug_assert!(labeling.is_good(sim.graph()));
+    // Goodness is an invariant of clean-channel label learning; under an
+    // active fault plan a degraded labeling is an expected outcome (the
+    // casts below stay bounded either way — they just inform fewer
+    // vertices).
+    debug_assert!(sim.fault_plan().is_active() || labeling.is_good(sim.graph()));
     let n = labeling.n();
     let caster = PayloadCaster {
         layers: Layers::build(labeling, layer_bound),

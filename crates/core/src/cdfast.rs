@@ -22,7 +22,7 @@
 //! reuses.
 
 use ebc_radio::rng::{cluster_rng, splitmix64};
-use ebc_radio::{Model, NodeId, Sim};
+use ebc_radio::{Model, NodeId, Schedule, Sim};
 use rand::Rng;
 
 use crate::det::cd::DetClusterState;
@@ -131,7 +131,13 @@ pub fn lemma19_ind(sim: &mut Sim, st: &DetClusterState, colors: &Colorings) -> V
                         .filter(|u| !sender_set.contains(u)),
                 )
                 .collect();
-            sim.run(&participants, 1, &mut behavior);
+            sim.drive(
+                Schedule::Dense {
+                    participants: &participants,
+                    slots: 1,
+                },
+                &mut behavior,
+            );
             drop(behavior);
             for (i, &u) in listeners.iter().enumerate() {
                 if heard[i] && ind[u].is_none() {
@@ -208,7 +214,13 @@ fn colored_down(
                             .filter(|u| !sender_msg.contains_key(u)),
                     )
                     .collect();
-                sim.run(&participants, 1, &mut behavior);
+                sim.drive(
+                    Schedule::Dense {
+                        participants: &participants,
+                        slots: 1,
+                    },
+                    &mut behavior,
+                );
                 drop(behavior);
                 for (i, &u) in listeners.iter().enumerate() {
                     if let Some(m) = heard[i] {
@@ -373,7 +385,13 @@ pub fn broadcast_theorem20(
             &mut rngs,
             0x20_0000 + u64::from(iter),
         );
-        debug_assert!(st.is_valid(sim.graph()), "invalid state at iter {iter}");
+        // Validity is a clean-channel invariant; under an active fault
+        // plan merge elections can misfire and leave a degraded (but
+        // bounded) state.
+        debug_assert!(
+            sim.fault_plan().is_active() || st.is_valid(sim.graph()),
+            "invalid state at iter {iter}"
+        );
     }
     // Final broadcast: Lemma 10 with the CD SR strategy. The labeling is
     // graph-good because parents are graph neighbors.

@@ -49,7 +49,9 @@ pub mod srcomm;
 pub mod suite;
 pub mod util;
 
-pub use ebc_radio::{Action, EnergyMeter, Feedback, Graph, Model, NodeId, Sim, Slot};
+pub use ebc_radio::{
+    Action, EnergyMeter, FaultPlan, Feedback, Graph, JammerStrategy, Model, NodeId, Sim, Slot,
+};
 
 /// The outcome of a broadcast run: which vertices ended up informed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +72,18 @@ impl BroadcastOutcome {
     /// The number of informed vertices.
     pub fn count(&self) -> usize {
         self.informed.iter().filter(|&&b| b).count()
+    }
+
+    /// The fraction of vertices informed, in `[0, 1]` — the success
+    /// measure of fault-injected runs, where a partial informed set is an
+    /// expected outcome rather than a bug. An empty network counts as
+    /// fully informed, matching [`BroadcastOutcome::all_informed`].
+    pub fn informed_fraction(&self) -> f64 {
+        if self.informed.is_empty() {
+            1.0
+        } else {
+            self.count() as f64 / self.informed.len() as f64
+        }
     }
 }
 

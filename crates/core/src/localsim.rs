@@ -14,7 +14,7 @@
 //! * [`build_tdma`] — runs both and returns an [`Sr::Tdma`] strategy ready
 //!   for the Corollary 13 pipeline.
 
-use ebc_radio::{Action, Feedback, NodeId, Sim, SlotBehavior};
+use ebc_radio::{Action, Feedback, NodeId, Schedule, Sim, SlotBehavior};
 use rand::Rng;
 
 use crate::srcomm::Sr;
@@ -72,7 +72,13 @@ pub fn learn_degree(sim: &mut Sim, c: f64, rngs: &mut NodeRngs) -> NeighborKnowl
         heard: vec![Default::default(); n],
         rngs,
     };
-    sim.run(&participants, slots, &mut b);
+    sim.drive(
+        Schedule::Dense {
+            participants: &participants,
+            slots,
+        },
+        &mut b,
+    );
     NeighborKnowledge {
         known: b
             .heard
@@ -173,7 +179,13 @@ pub fn two_hop_coloring(
             delta,
             rngs,
         };
-        sim.run(&participants, slots_per_iter, &mut b);
+        sim.drive(
+            Schedule::Dense {
+                participants: &participants,
+                slots: slots_per_iter,
+            },
+            &mut b,
+        );
         // Step 4: fix the color if no conflict is visible within distance 2.
         for v in 0..n {
             if state.fixed[v] {

@@ -173,7 +173,13 @@ fn run_local<M: Clone + core::fmt::Debug>(
             }
         },
     );
-    sim.run(&participants, 1, &mut behavior);
+    sim.drive(
+        Schedule::Dense {
+            participants: &participants,
+            slots: 1,
+        },
+        &mut behavior,
+    );
     drop(behavior);
     got
 }
@@ -532,7 +538,13 @@ fn run_marker_slot(
             }
         },
     );
-    sim.run(&participants, 1, &mut behavior);
+    sim.drive(
+        Schedule::Dense {
+            participants: &participants,
+            slots: 1,
+        },
+        &mut behavior,
+    );
 }
 
 /// State of one TDMA round.
@@ -678,7 +690,13 @@ pub fn local_gather<M: Clone + core::fmt::Debug>(
             }
         },
     );
-    sim.run(&participants, 1, &mut behavior);
+    sim.drive(
+        Schedule::Dense {
+            participants: &participants,
+            slots: 1,
+        },
+        &mut behavior,
+    );
     drop(behavior);
     for (i, &v) in receivers.iter().enumerate() {
         if let Some(m) = sender_of.get(&v) {
@@ -802,7 +820,13 @@ pub fn det_sr(
                         .filter(|v| !sender_set.contains(v)),
                 )
                 .collect();
-            sim.run(&slot_participants, 1, &mut behavior);
+            sim.drive(
+                Schedule::Dense {
+                    participants: &slot_participants,
+                    slots: 1,
+                },
+                &mut behavior,
+            );
         }
         sim.skip(level_slots - consumed);
         for (ri, &v) in receivers.iter().enumerate() {

@@ -62,6 +62,23 @@ pub trait BroadcastAlgorithm: Sync {
         true
     }
 
+    /// Whether the adapter's entire slot pipeline flows through
+    /// [`Sim::drive`]'s fault choke point, so an active
+    /// [`ebc_radio::FaultPlan`] on the `sim` actually reaches every
+    /// transmission.
+    ///
+    /// Defaults to `true`: adapters drive all their slots through the
+    /// `Sim` they are handed, and every registered algorithm runs a
+    /// bounded, instance-derived number of slots, so under message loss
+    /// they degrade to a partial informed set rather than hanging.
+    /// Adapters that delegate slots to a sub-engine bypassing the choke
+    /// point (the §8 path algorithm's [`EventEngine`]) override this to
+    /// `false` — running them under an active plan would silently
+    /// simulate a clean channel, which harnesses must skip or flag.
+    fn fault_tolerant(&self) -> bool {
+        true
+    }
+
     /// Runs the algorithm on `sim` from `source`. All default parameters
     /// scale with the instance (`n`, `Δ`, `D`).
     ///
@@ -73,6 +90,73 @@ pub trait BroadcastAlgorithm: Sync {
     /// [`supports_model`]: BroadcastAlgorithm::supports_model
     /// [`supports_graph`]: BroadcastAlgorithm::supports_graph
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome;
+}
+
+/// The outcome of one fault-injected broadcast run: the (possibly
+/// partial) informed set plus the success/timeout verdicts harnesses
+/// aggregate into `success_rate` columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyOutcome {
+    /// The informed set the run ended with — under an active plan a
+    /// partial set is an expected outcome, not a bug.
+    pub outcome: BroadcastOutcome,
+    /// Whether every device ended informed despite the faults.
+    pub success: bool,
+    /// Global slots the run consumed ([`Sim::now`] at exit).
+    pub slots: u64,
+    /// Whether the run blew through `slot_budget` — the no-hang
+    /// guarantee turned into a report instead of a wedged harness.
+    pub timed_out: bool,
+}
+
+/// A generous no-hang slot budget for a fault-injected run at size `n`
+/// whose clean twin consumed `clean_slots`.
+///
+/// Every registered adapter derives its schedule lengths from the
+/// instance, so faults stretch a run by at most a constant factor —
+/// degraded feedback inflates the *data* an adaptive schedule is built
+/// from, not the number of retries. Calibrating on the clean reference
+/// run (which fault harnesses execute anyway, to compute energy
+/// overhead) absorbs the enormous spread in clean clocks across the
+/// registry: Theorem 27's skip-dominated `O(n N² log n log N)` clock is
+/// ~10⁴× Theorem 16's at the same `n`. The additive `n³ polylog` floor
+/// keeps the budget meaningful for the fastest adapters, where a tiny
+/// `clean_slots` would otherwise make the constant factor too strict.
+/// When sweeping many families at one size, pass the slowest clean
+/// clock among them: heavily degraded adaptive schedules collapse
+/// toward their graph-independent worst case, which an easy family's
+/// own clean run underestimates. A faulty run exceeding this budget
+/// indicates an unbounded retry loop, not ordinary degradation.
+pub fn fault_slot_budget(n: usize, clean_slots: u64) -> u64 {
+    let n = n.max(2);
+    let log = u64::from(crate::util::ceil_log2(n)).max(1);
+    let n = n as u64;
+    16 * clean_slots + 64 * n * n * n * log * log
+}
+
+/// Runs `alg` from `source` on a `sim` (typically built with
+/// [`Sim::with_faults`]) and wraps the result in a [`FaultyOutcome`]:
+/// partial informed sets become a `success = false` report, and a run
+/// that consumed more than `slot_budget` slots is flagged `timed_out`
+/// instead of wedging the harness.
+///
+/// The registered adapters all run bounded schedules, so the budget
+/// check is reporting, not preemption; callers gate un-instrumentable
+/// adapters with [`BroadcastAlgorithm::fault_tolerant`] first.
+pub fn run_faulty(
+    alg: &dyn BroadcastAlgorithm,
+    sim: &mut Sim,
+    source: NodeId,
+    slot_budget: u64,
+) -> FaultyOutcome {
+    let outcome = alg.run(sim, source);
+    let slots = sim.now();
+    FaultyOutcome {
+        success: outcome.all_informed(),
+        slots,
+        timed_out: slots > slot_budget,
+        outcome,
+    }
 }
 
 /// The four messaging models, in the paper's Table 1 column order. (Beep is
@@ -183,6 +267,12 @@ impl BroadcastAlgorithm for PathAlgorithm {
     fn supports_graph(&self, graph: &Graph) -> bool {
         let n = graph.n();
         n >= 2 && graph.m() == n - 1 && (0..n - 1).all(|v| graph.has_edge(v, v + 1))
+    }
+    fn fault_tolerant(&self) -> bool {
+        // The slots run on a private EventEngine, which bypasses the
+        // Sim's fault choke point: an active plan would be silently
+        // ignored, simulating a clean channel under a faulty label.
+        false
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
         // The protocol sleeps for long data-dependent stretches, so it runs
@@ -389,6 +479,79 @@ mod tests {
         // several families each. Guards against a silent registry or
         // family-list regression emptying the loop.
         assert!(combinations >= 100, "only {combinations} combinations ran");
+    }
+
+    #[test]
+    fn registry_conformance_no_hang_under_heavy_slot_loss() {
+        // The no-hang guarantee: every fault-tolerant adapter, under
+        // every model it supports, on every compatible family at n = 16,
+        // must terminate within its slot budget under SlotLoss{p = 0.5}
+        // — reporting a (possibly partial) informed set rather than
+        // wedging. Non-instrumentable adapters must say so explicitly
+        // via `fault_tolerant()`.
+        use ebc_radio::FaultPlan;
+        let mut combinations = 0usize;
+        let mut successes = 0usize;
+        for alg in ALGORITHMS {
+            if !alg.fault_tolerant() {
+                assert_eq!(
+                    alg.name(),
+                    "path_theorem21",
+                    "only the EventEngine-backed path adapter may opt out"
+                );
+                continue;
+            }
+            for &model in alg.supported_models() {
+                // Calibrate one budget per (algorithm, model) on the
+                // slowest clean family: under heavy loss an adaptive
+                // schedule collapses toward its graph-independent worst
+                // case, so a fast family's own clean clock is the wrong
+                // yardstick for its degraded run.
+                let mut slowest_clean = 0u64;
+                for family in Family::ALL {
+                    let instance = family.instance(16, 0xc0f0);
+                    if !alg.supports_graph(&instance.graph) {
+                        continue;
+                    }
+                    let mut clean = Sim::new(instance.graph, model, 42);
+                    alg.run(&mut clean, 0);
+                    slowest_clean = slowest_clean.max(clean.now());
+                }
+                let budget = fault_slot_budget(16, slowest_clean);
+                for family in Family::ALL {
+                    let instance = family.instance(16, 0xc0f0);
+                    if !alg.supports_graph(&instance.graph) {
+                        continue;
+                    }
+                    combinations += 1;
+                    let mut sim =
+                        Sim::with_faults(instance.graph, model, 42, FaultPlan::SlotLoss { p: 0.5 });
+                    let res = run_faulty(*alg, &mut sim, 0, budget);
+                    assert!(
+                        !res.timed_out,
+                        "{} under {:?} on {} ran {} slots (budget {budget})",
+                        alg.name(),
+                        model,
+                        family.name(),
+                        res.slots,
+                    );
+                    assert_eq!(res.outcome.informed.len(), sim.graph().n());
+                    assert!(res.outcome.informed_fraction() >= 0.0);
+                    if res.success {
+                        successes += 1;
+                    }
+                }
+            }
+        }
+        assert!(combinations >= 90, "only {combinations} combinations ran");
+        // Half the slots are lost: some runs must degrade (a registry
+        // where every run still fully informs means the fault layer is
+        // not reaching the pipeline), yet the fixed-schedule flooders
+        // should still succeed occasionally.
+        assert!(
+            successes < combinations,
+            "no run degraded under p = 0.5 slot loss"
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@ use crate::{NodeId, Slot};
 pub struct EnergyMeter {
     sends: Vec<u64>,
     listens: Vec<u64>,
+    /// Sends charged in slots the fault layer lost or jammed — energy
+    /// paid for transmissions nobody could decode (the retry cost of
+    /// unreliable channels). Always ≤ `sends`, element-wise.
+    lost_sends: Vec<u64>,
     last_active: Option<Slot>,
     idle_skipped: u64,
 }
@@ -22,6 +26,7 @@ impl EnergyMeter {
         EnergyMeter {
             sends: vec![0; n],
             listens: vec![0; n],
+            lost_sends: vec![0; n],
             last_active: None,
             idle_skipped: 0,
         }
@@ -54,6 +59,24 @@ impl EnergyMeter {
     /// Total slots batch-skipped as provably idle.
     pub fn idle_skipped(&self) -> u64 {
         self.idle_skipped
+    }
+
+    /// Records that `v`'s already-charged send fell in a slot the fault
+    /// layer destroyed (lost or jammed) — the energy stays charged; this
+    /// counter makes the waste observable.
+    pub fn note_lost_send(&mut self, v: NodeId) {
+        self.lost_sends[v] += 1;
+    }
+
+    /// Sends by `v` that a fault destroyed (already counted in
+    /// [`EnergyMeter::sends`]).
+    pub fn lost_sends(&self, v: NodeId) -> u64 {
+        self.lost_sends[v]
+    }
+
+    /// Total fault-destroyed sends across all devices.
+    pub fn total_lost_sends(&self) -> u64 {
+        self.lost_sends.iter().sum()
     }
 
     /// Total energy spent by `v` (sends + listens).
@@ -124,6 +147,7 @@ impl EnergyMeter {
             total: self.total_energy(),
             time: self.last_active.map_or(0, |t| t + 1),
             idle_skipped: self.idle_skipped,
+            lost_sends: self.total_lost_sends(),
         }
     }
 
@@ -131,6 +155,7 @@ impl EnergyMeter {
     pub fn reset(&mut self) {
         self.sends.iter_mut().for_each(|x| *x = 0);
         self.listens.iter_mut().for_each(|x| *x = 0);
+        self.lost_sends.iter_mut().for_each(|x| *x = 0);
         self.last_active = None;
         self.idle_skipped = 0;
     }
@@ -153,6 +178,9 @@ impl EnergyMeter {
             *a += b;
         }
         for (a, b) in self.listens.iter_mut().zip(&other.listens) {
+            *a += b;
+        }
+        for (a, b) in self.lost_sends.iter_mut().zip(&other.lost_sends) {
             *a += b;
         }
         self.idle_skipped += other.idle_skipped;
@@ -180,6 +208,9 @@ pub struct EnergyReport {
     /// Slots the simulation batch-skipped as provably idle (free time the
     /// engine never simulated slot-by-slot).
     pub idle_skipped: u64,
+    /// Sends destroyed by the fault layer (energy paid for transmissions
+    /// nobody could decode); 0 in every clean run.
+    pub lost_sends: u64,
 }
 
 impl core::fmt::Display for EnergyReport {
@@ -188,7 +219,11 @@ impl core::fmt::Display for EnergyReport {
             f,
             "time={} slots ({} idle-skipped), energy max={} mean={:.1} median={} p95={} total={}",
             self.time, self.idle_skipped, self.max, self.mean, self.median, self.p95, self.total
-        )
+        )?;
+        if self.lost_sends > 0 {
+            write!(f, " ({} sends lost to faults)", self.lost_sends)?;
+        }
+        Ok(())
     }
 }
 
@@ -323,9 +358,28 @@ mod tests {
                 p95: 0,
                 total: 0,
                 time: 0,
-                idle_skipped: 0
+                idle_skipped: 0,
+                lost_sends: 0
             }
         );
+    }
+
+    #[test]
+    fn lost_sends_are_counted_merged_and_reset() {
+        let mut m = EnergyMeter::new(3);
+        m.charge_send(0, 1);
+        m.note_lost_send(0);
+        m.charge_send(2, 2);
+        assert_eq!(m.lost_sends(0), 1);
+        assert_eq!(m.lost_sends(2), 0);
+        assert_eq!(m.total_lost_sends(), 1);
+        assert_eq!(m.report().lost_sends, 1);
+        let mut other = EnergyMeter::new(3);
+        other.note_lost_send(2);
+        m.merge(&other);
+        assert_eq!(m.total_lost_sends(), 2);
+        m.reset();
+        assert_eq!(m.total_lost_sends(), 0);
     }
 
     #[test]

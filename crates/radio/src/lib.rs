@@ -35,7 +35,7 @@
 //! # Example
 //!
 //! ```
-//! use ebc_radio::{Graph, Model, Sim, Action, Feedback, SlotBehavior, NodeId};
+//! use ebc_radio::{Graph, Model, Schedule, Sim, Action, Feedback, SlotBehavior, NodeId};
 //!
 //! // A two-node path: node 0 sends "hi" once, node 1 listens.
 //! let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
@@ -50,7 +50,7 @@
 //! }
 //! let mut sim = Sim::new(g, Model::NoCd, 7);
 //! let mut b = OneShot { heard: None };
-//! sim.run(&[0, 1], 1, &mut b);
+//! sim.drive(Schedule::Dense { participants: &[0, 1], slots: 1 }, &mut b);
 //! assert_eq!(b.heard, Some("hi"));
 //! assert_eq!(sim.meter().energy(0), 1);
 //! assert_eq!(sim.meter().energy(1), 1);
@@ -62,6 +62,7 @@
 mod bitset;
 mod energy;
 mod engine;
+pub mod fault;
 mod graph;
 mod model;
 pub mod rng;
@@ -71,6 +72,7 @@ mod trace;
 pub use bitset::BitSet;
 pub use energy::{EnergyMeter, EnergyReport};
 pub use engine::{EventEngine, NextWake, Protocol, RunOutcome};
+pub use fault::{FaultModel, FaultPlan, FaultState, JammerStrategy, SlotVerdict};
 pub use graph::{Graph, GraphError};
 pub use model::{resolve, Action, Feedback, Model};
 pub use sim::{from_fns, Schedule, Sim, SlotBehavior, SparseSchedule};

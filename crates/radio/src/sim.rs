@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::bitset::BitSet;
+use crate::fault::{jam_feedback, FaultModel, FaultPlan, FaultState, SlotVerdict, FAULT_STREAM};
 use crate::model::{resolve, resolve_row, Action, Feedback, Model};
 use crate::trace::{Trace, TraceKind};
 use crate::{EnergyMeter, Graph, NodeId, Slot};
@@ -325,6 +326,10 @@ pub struct Sim {
     /// Scratch: the packed transmitting set of the current slot — the
     /// word-parallel state listeners probe during collision resolution.
     tx: BitSet,
+    /// The realized fault plan, if any. [`FaultPlan::None`] is stored as
+    /// `None` here, so clean runs never touch the fault layer at all and
+    /// stay bit-identical to the pre-fault engine.
+    faults: Option<FaultState>,
 }
 
 impl Sim {
@@ -345,7 +350,38 @@ impl Sim {
             seed,
             sending: vec![0; n],
             tx: BitSet::new(n),
+            faults: None,
         }
+    }
+
+    /// A fresh simulation with a [`FaultPlan`] applied at the slot
+    /// pipeline's choke point: crashed/churned devices are masked out of
+    /// every slot (no polls, no energy), lost slots drop all
+    /// transmissions, jammed slots reach every listener as channel
+    /// garbage, and edge loss filters individual deliveries.
+    ///
+    /// The fault layer's randomness is a pure hash of a key derived from
+    /// `seed` under the dedicated [`FAULT_STREAM`], so it never perturbs
+    /// an algorithm's own random draws, and [`FaultPlan::None`] is
+    /// bit-identical to [`Sim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is malformed (probability outside `[0, 1]`,
+    /// zero jammer period, or an event naming a device `>= n`).
+    pub fn with_faults(
+        graph: impl Into<Arc<Graph>>,
+        model: Model,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut sim = Sim::new(graph, model, seed);
+        if plan.is_active() {
+            let key = crate::rng::derive_seed(seed, 0, FAULT_STREAM);
+            let n = sim.graph.n();
+            sim.faults = Some(FaultState::new(plan, key, n));
+        }
+        sim
     }
 
     /// The underlying graph.
@@ -372,6 +408,18 @@ impl Sim {
     /// The current global slot.
     pub fn now(&self) -> Slot {
         self.clock
+    }
+
+    /// The fault plan in force ([`FaultPlan::None`] for a clean run).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        static NONE: FaultPlan = FaultPlan::None;
+        self.faults.as_ref().map_or(&NONE, |f| f.plan())
+    }
+
+    /// The realized fault state, if an active plan is in force — for
+    /// inspecting the remaining jam budget or the current down-set.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// The energy meter.
@@ -507,18 +555,20 @@ impl Sim {
         }
     }
 
-    /// Runs one primitive: `slots` slots in which exactly `participants`
-    /// may act (all other devices idle).
+    /// Compatibility shim: `slots` dense slots in which exactly
+    /// `participants` may act — a thin wrapper over [`Sim::drive`] with
+    /// [`Schedule::Dense`].
     ///
-    /// Deprecated path: thin wrapper over [`Sim::drive`] with
-    /// [`Schedule::Dense`], kept so pre-`Schedule` call sites migrate
-    /// incrementally. New code should call `drive` directly.
+    /// Every production call site has been ported to `drive`; this
+    /// wrapper is retained only for the test suites' one-liners and is
+    /// hidden from the documented API. Do not add new callers.
     ///
     /// `participants` must not contain duplicates.
     ///
     /// # Panics
     ///
     /// Panics if a participant id is out of range.
+    #[doc(hidden)]
     pub fn run<M, B>(&mut self, participants: &[NodeId], slots: u64, behavior: &mut B)
     where
         M: Clone + core::fmt::Debug,
@@ -533,16 +583,15 @@ impl Sim {
         )
     }
 
-    /// Runs one primitive of `slots` slots under a *sparse public
-    /// schedule*: `schedule` names, per possibly-active local slot, the
-    /// only devices that may act; every unlisted slot is provably idle for
-    /// all devices and advances the clock in one batch (the [`skip`] path),
-    /// never polling any behavior.
+    /// Compatibility shim: `slots` slots under a sparse public schedule
+    /// given as `(slot, participants)` pairs — copies the per-slot
+    /// `Vec`s into a [`SparseSchedule`] and calls [`Sim::drive`].
     ///
-    /// Deprecated path: thin wrapper that copies the per-slot `Vec`s into
-    /// a [`SparseSchedule`] and calls [`Sim::drive`]. New code should
-    /// build the `SparseSchedule` directly (one flat allocation, rows
-    /// borrowed as slices) and drive [`Schedule::Sparse`].
+    /// Every production call site builds the `SparseSchedule` directly
+    /// (one flat allocation, rows borrowed as slices) and drives
+    /// [`Schedule::Sparse`]; this wrapper is retained only for the test
+    /// suites and is hidden from the documented API. Do not add new
+    /// callers.
     ///
     /// Scheduled slots must be strictly increasing and `< slots`; a
     /// device listed in a slot may still act [`Action::Idle`] there.
@@ -551,8 +600,7 @@ impl Sim {
     ///
     /// Panics if the schedule is unsorted, exceeds `slots`, or lists a
     /// duplicate participant within one slot.
-    ///
-    /// [`skip`]: Sim::skip
+    #[doc(hidden)]
     pub fn run_scheduled<M, B>(
         &mut self,
         schedule: &[(u64, Vec<NodeId>)],
@@ -636,7 +684,18 @@ impl Sim {
         senders.clear();
         listeners.clear();
         let now = self.clock;
+        if let Some(f) = &mut self.faults {
+            f.begin_slot(now);
+        }
         for &v in participants {
+            // Down devices (crashed or churned out) are masked before the
+            // poll: no action, no feedback, no energy, and their private
+            // random streams stay untouched until they rejoin.
+            if let Some(f) = &self.faults {
+                if f.any_down() && f.is_down(v) {
+                    continue;
+                }
+            }
             let action = behavior.act(v, t);
             match &action {
                 Action::Idle => {}
@@ -666,8 +725,56 @@ impl Sim {
             self.sending[*v] = i as u32 + 1;
             self.tx.insert(*v);
         }
+        // The fault choke point: every transmission in every schedule
+        // shape passes through here before collision resolution.
+        let mut verdict = SlotVerdict::Clean;
+        if let Some(f) = &mut self.faults {
+            if f.any_down() {
+                // Word-parallel enforcement that no down device transmits.
+                // The poll loop above already masks them, so this is a
+                // (cheap) invariant, not a second decision point.
+                self.tx.and_not(f.down());
+            }
+            // Unobserved slots never draw a verdict: jamming budget is
+            // only spent on slots some listener actually hears, which
+            // keeps budget consumption invariant across schedule shapes.
+            if !listeners.is_empty() {
+                verdict = f.verdict(now, !senders.is_empty());
+            }
+            if verdict != SlotVerdict::Clean {
+                // Senders already paid for the attempt — that charge is
+                // the retry energy of unreliable channels; the meter
+                // tallies the wasted transmissions separately.
+                for (v, _) in senders.iter() {
+                    self.meter.note_lost_send(*v);
+                }
+            }
+            if verdict == SlotVerdict::Lost {
+                // Drop every transmission before resolution: listeners
+                // then resolve an empty channel, which is silence in
+                // every model.
+                for (v, _) in senders.iter() {
+                    self.sending[*v] = 0;
+                    self.tx.remove(*v);
+                }
+            }
+        }
         for &v in listeners.iter() {
-            let fb = if reference {
+            let fb = if verdict == SlotVerdict::Jammed {
+                jam_feedback(self.model)
+            } else if let Some(f) = self.faults.as_ref().filter(|f| f.filters_edges()) {
+                // Edge loss needs a per-(listener, sender) decision, so
+                // this plan drops from the word-parallel row probe to the
+                // filtered iterator scan.
+                resolve(
+                    self.model,
+                    self.graph.neighbors(v).filter_map(|u| {
+                        let idx = self.sending[u];
+                        (idx != 0 && f.edge_alive(now, v, u))
+                            .then(|| (u, senders[idx as usize - 1].1.clone()))
+                    }),
+                )
+            } else if reference {
                 resolve(
                     self.model,
                     self.graph.neighbors(v).filter_map(|u| {
@@ -706,6 +813,7 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::JammerStrategy;
 
     fn star(leaves: usize) -> Graph {
         // Vertex 0 is the hub.
@@ -1293,5 +1401,303 @@ mod tests {
         drop(b);
         assert_eq!(slots_seen, vec![0, 1, 0, 1]);
         assert_eq!(sim.now(), 4);
+    }
+
+    /// Leaves send every slot, the hub listens every slot; returns the
+    /// hub's per-slot feedback after `slots` slots.
+    fn hub_feedback(mut sim: Sim, leaves: usize, slots: u64) -> Vec<Feedback<usize>> {
+        let mut heard = Vec::new();
+        let all: Vec<NodeId> = (0..=leaves).collect();
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(v)
+                }
+            },
+            |_, _, fb| heard.push(fb),
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &all,
+                slots,
+            },
+            &mut b,
+        );
+        drop(b);
+        heard
+    }
+
+    #[test]
+    fn none_plan_stores_no_fault_state() {
+        let sim = Sim::with_faults(star(2), Model::Cd, 7, FaultPlan::None);
+        assert!(sim.fault_state().is_none());
+        assert_eq!(sim.fault_plan(), &FaultPlan::None);
+        let sim = Sim::with_faults(star(2), Model::Cd, 7, FaultPlan::SlotLoss { p: 0.5 });
+        assert_eq!(sim.fault_plan().name(), "slot-loss");
+        assert!(sim.fault_state().is_some());
+    }
+
+    #[test]
+    fn certain_slot_loss_silences_every_delivery_but_charges_senders() {
+        let sim = Sim::with_faults(star(1), Model::Cd, 3, FaultPlan::SlotLoss { p: 1.0 });
+        let heard = hub_feedback(sim, 1, 4);
+        assert_eq!(heard, vec![Feedback::Silence; 4]);
+    }
+
+    #[test]
+    fn slot_loss_retry_energy_is_charged_and_tallied() {
+        let mut sim = Sim::with_faults(star(1), Model::Cd, 3, FaultPlan::SlotLoss { p: 1.0 });
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(1u8)
+                }
+            },
+            |_, _, _| {},
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &[0, 1],
+                slots: 5,
+            },
+            &mut b,
+        );
+        drop(b);
+        // The sender paid for all 5 attempts; all 5 were destroyed.
+        assert_eq!(sim.meter().sends(1), 5);
+        assert_eq!(sim.meter().lost_sends(1), 5);
+        assert_eq!(sim.meter().report().lost_sends, 5);
+        // The listener still paid to listen to silence.
+        assert_eq!(sim.meter().listens(0), 5);
+    }
+
+    #[test]
+    fn certain_edge_loss_silences_deliveries_per_edge() {
+        let sim = Sim::with_faults(star(1), Model::Cd, 3, FaultPlan::EdgeLoss { p: 1.0 });
+        let heard = hub_feedback(sim, 1, 4);
+        assert_eq!(heard, vec![Feedback::Silence; 4]);
+    }
+
+    #[test]
+    fn crashed_device_is_masked_out_of_polls_energy_and_resolution() {
+        // Leaf 1 crashes at global slot 2 of 6: it transmits (and pays)
+        // only before the crash, and the hub hears it collide with leaf 2
+        // only while it is still up.
+        let sim = Sim::with_faults(
+            star(2),
+            Model::Cd,
+            3,
+            FaultPlan::Crash {
+                schedule: vec![(2, 1)],
+            },
+        );
+        let heard = hub_feedback(sim, 2, 6);
+        assert_eq!(heard[0], Feedback::Noise);
+        assert_eq!(heard[1], Feedback::Noise);
+        // From slot 2 on only leaf 2 transmits: a clean single delivery.
+        assert!(heard[2..].iter().all(|fb| *fb == Feedback::One(2)));
+    }
+
+    #[test]
+    fn crash_energy_stops_at_the_crash_slot() {
+        let mut sim = Sim::with_faults(
+            star(1),
+            Model::Cd,
+            3,
+            FaultPlan::Crash {
+                schedule: vec![(3, 1)],
+            },
+        );
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(1u8)
+                }
+            },
+            |_, _, _| {},
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &[0, 1],
+                slots: 10,
+            },
+            &mut b,
+        );
+        drop(b);
+        assert_eq!(sim.meter().sends(1), 3, "no polls after the crash");
+        assert_eq!(sim.meter().listens(0), 10, "the hub stays up");
+    }
+
+    #[test]
+    fn churned_device_misses_the_down_window_then_rejoins() {
+        let sim = Sim::with_faults(
+            star(1),
+            Model::Cd,
+            3,
+            FaultPlan::Churn {
+                leave: vec![(1, 1)],
+                join: vec![(3, 1)],
+            },
+        );
+        let heard = hub_feedback(sim, 1, 5);
+        assert_eq!(
+            heard,
+            vec![
+                Feedback::One(1),
+                Feedback::Silence,
+                Feedback::Silence,
+                Feedback::One(1),
+                Feedback::One(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn reactive_jammer_spends_budget_only_on_observed_transmissions() {
+        let mut sim = Sim::with_faults(
+            star(1),
+            Model::Cd,
+            3,
+            FaultPlan::Jammer {
+                budget: 2,
+                strategy: JammerStrategy::Reactive,
+            },
+        );
+        let mut heard = Vec::new();
+        // The leaf transmits only in slots 2, 4, 6; the hub always listens.
+        let mut b = from_fns(
+            |v, t| {
+                if v == 0 {
+                    Action::Listen
+                } else if t % 2 == 0 && t > 0 {
+                    Action::Send(1u8)
+                } else {
+                    Action::Idle
+                }
+            },
+            |_, _, fb| heard.push(fb),
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &[0, 1],
+                slots: 8,
+            },
+            &mut b,
+        );
+        drop(b);
+        // Budget 2 hits the first two transmissions; the third gets through.
+        assert_eq!(heard[2], Feedback::Noise);
+        assert_eq!(heard[4], Feedback::Noise);
+        assert_eq!(heard[6], Feedback::One(1));
+        assert_eq!(sim.fault_state().unwrap().jam_budget(), 0);
+        assert_eq!(sim.meter().total_lost_sends(), 2);
+    }
+
+    #[test]
+    fn periodic_jammer_budget_is_schedule_shape_invariant() {
+        // A jammer with period 1 (every observed slot) and budget 2 must
+        // spend the same two units whether idle stretches are simulated
+        // (dense) or batch-skipped (sparse): unobserved slots are free.
+        let run = |sparse: bool| -> Vec<Feedback<u8>> {
+            let mut sim = Sim::with_faults(
+                star(1),
+                Model::Cd,
+                3,
+                FaultPlan::Jammer {
+                    budget: 2,
+                    strategy: JammerStrategy::Periodic { period: 1 },
+                },
+            );
+            let mut heard = Vec::new();
+            let active = [2u64, 5, 9];
+            let mut b = from_fns(
+                |v, t| {
+                    if !active.contains(&t) {
+                        Action::Idle
+                    } else if v == 0 {
+                        Action::Listen
+                    } else {
+                        Action::Send(1u8)
+                    }
+                },
+                |_, _, fb| heard.push(fb),
+            );
+            if sparse {
+                let mut sched = SparseSchedule::new();
+                for &t in &active {
+                    sched.push(t, [0, 1]);
+                }
+                sim.drive(
+                    Schedule::Sparse {
+                        schedule: &sched,
+                        slots: 12,
+                    },
+                    &mut b,
+                );
+            } else {
+                sim.drive(
+                    Schedule::Dense {
+                        participants: &[0, 1],
+                        slots: 12,
+                    },
+                    &mut b,
+                );
+            }
+            drop(b);
+            heard
+        };
+        let dense = run(false);
+        let sparse = run(true);
+        assert_eq!(dense, sparse);
+        assert_eq!(
+            dense,
+            vec![Feedback::Noise, Feedback::Noise, Feedback::One(1)]
+        );
+    }
+
+    #[test]
+    fn fault_events_fire_even_across_batch_skipped_ranges() {
+        // The crash lands at slot 50, inside a skipped stretch: the next
+        // simulated slot must still see the device down.
+        let sim_run = |crash_at: u64| -> Vec<Feedback<u8>> {
+            let mut sim = Sim::with_faults(
+                star(1),
+                Model::Cd,
+                3,
+                FaultPlan::Crash {
+                    schedule: vec![(crash_at, 1)],
+                },
+            );
+            let mut heard = Vec::new();
+            let mut sched = SparseSchedule::new();
+            sched.push(100, [0, 1]);
+            let mut b = from_fns(
+                |v, _| {
+                    if v == 0 {
+                        Action::Listen
+                    } else {
+                        Action::Send(1u8)
+                    }
+                },
+                |_, _, fb| heard.push(fb),
+            );
+            sim.drive(
+                Schedule::Sparse {
+                    schedule: &sched,
+                    slots: 101,
+                },
+                &mut b,
+            );
+            drop(b);
+            heard
+        };
+        assert_eq!(sim_run(50), vec![Feedback::Silence]);
+        assert_eq!(sim_run(200), vec![Feedback::One(1)]);
     }
 }

@@ -11,9 +11,31 @@
 //! drivers' clock/energy accounting fails here with the case seed.
 
 use ebc_radio::{
-    Action, Feedback, Graph, Model, NodeId, Schedule, Sim, SlotBehavior, SparseSchedule,
+    Action, FaultPlan, Feedback, Graph, JammerStrategy, Model, NodeId, Schedule, Sim, SlotBehavior,
+    SparseSchedule,
 };
 use proptest::prelude::*;
+
+/// Every fault plan at zero strength: the fault layer runs (draws its
+/// verdicts, applies its empty event lists) but must never perturb the
+/// engine. [`FaultPlan::None`] additionally asserts the no-state fast
+/// path.
+fn zero_strength_plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::None,
+        FaultPlan::SlotLoss { p: 0.0 },
+        FaultPlan::EdgeLoss { p: 0.0 },
+        FaultPlan::Crash { schedule: vec![] },
+        FaultPlan::Jammer {
+            budget: u64::MAX,
+            strategy: JammerStrategy::Random { p: 0.0 },
+        },
+        FaultPlan::Churn {
+            leave: vec![],
+            join: vec![],
+        },
+    ]
+}
 
 /// Splitmix-style mixer: a pure hash of (seed, v, t), so every engine
 /// sees identical actions no matter how often or in what order it polls.
@@ -176,6 +198,32 @@ proptest! {
             // Sparse/dynamic batch-skip all-idle slots; the clock already
             // matched above, so skipped + simulated is conserved.
             prop_assert_eq!(sparse_sim.meter().idle_skipped(), slots - sparse.len() as u64);
+
+            // Fault differential: a faulted drive at zero strength — every
+            // plan kind with probability 0, empty event lists, or a jammer
+            // that never fires — must pin the informed set, feedback log,
+            // per-node energy, clock, `last_active`, and `idle_skipped`
+            // bit-for-bit against the reference dense loop.
+            for plan in zero_strength_plans() {
+                let name = plan.name();
+                let mut fault_sim = Sim::with_faults(graph.clone(), model, 0, plan);
+                let mut fault_b = Scripted::new(script_seed, n, slots);
+                fault_sim.drive(Schedule::Dense { participants: &all, slots }, &mut fault_b);
+                prop_assert_eq!(fault_sim.meter().idle_skipped(), ref_skipped);
+                prop_assert_eq!(
+                    fault_sim.meter().total_lost_sends(),
+                    0,
+                    "zero-strength {} destroyed a send",
+                    name
+                );
+                prop_assert_eq!(
+                    &outcome(&fault_sim, fault_b),
+                    &reference,
+                    "faulted({}) vs reference, {}",
+                    name,
+                    model
+                );
+            }
         }
     }
 }
