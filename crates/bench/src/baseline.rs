@@ -29,6 +29,7 @@
 use std::path::{Path, PathBuf};
 
 use crate::analysis::{self, ci_from_json, ci_json, FIT_METRICS};
+use crate::cache::CacheStats;
 use crate::experiments::{ExperimentResult, Gateable};
 use crate::json::Json;
 use crate::measure::Case;
@@ -488,6 +489,9 @@ pub struct GateOutcome {
     pub experiment: &'static str,
     /// The comparison result.
     pub report: Result<DiffReport, String>,
+    /// Cell-cache accounting of this experiment's fresh run — `Some` iff
+    /// the gate ran with a cache configured.
+    pub cache: Option<CacheStats>,
 }
 
 impl GateOutcome {
@@ -523,14 +527,95 @@ pub fn gate_report_doc(dir: &Path, outcomes: &[GateOutcome]) -> Json {
                     row = row.field("error", e.as_str());
                 }
             }
+            if let Some(cache) = o.cache {
+                row = row.field("cache", cache.to_json());
+            }
             row
         })
         .collect();
-    Json::obj()
+    let mut doc = Json::obj()
         .field("schema_version", crate::experiments::SCHEMA_VERSION)
         .field("baseline_dir", dir.display().to_string())
-        .field("passed", outcomes.iter().all(GateOutcome::passed))
-        .field("experiments", Json::Arr(rows))
+        .field("passed", outcomes.iter().all(GateOutcome::passed));
+    if let Some(total) = total_cache(outcomes) {
+        doc = doc.field("cache", total.to_json());
+    }
+    doc.field("experiments", Json::Arr(rows))
+}
+
+/// The aggregate cache tally over `outcomes` — `Some` iff any experiment
+/// ran with a cache configured.
+fn total_cache(outcomes: &[GateOutcome]) -> Option<CacheStats> {
+    let mut total = CacheStats::default();
+    let mut any = false;
+    for o in outcomes {
+        if let Some(stats) = o.cache {
+            total.add(stats);
+            any = true;
+        }
+    }
+    any.then_some(total)
+}
+
+/// The human-readable gate summary (`BENCH_gate_summary.md`) — the
+/// markdown CI appends to `$GITHUB_STEP_SUMMARY` so a bench-gate verdict
+/// is readable without downloading the JSON artifact: one verdict row per
+/// experiment with its cache counts, then the worst diffs of every
+/// failing experiment.
+pub fn gate_summary_markdown(dir: &Path, outcomes: &[GateOutcome]) -> String {
+    let passed = outcomes.iter().all(GateOutcome::passed);
+    let mut out = format!(
+        "## Bench gate: {}\n\nBaselines: `{}`\n\n",
+        if passed { "✅ pass" } else { "❌ fail" },
+        dir.display()
+    );
+    out.push_str("| experiment | verdict | regressions | notes | cache hit/miss/invalidated |\n");
+    out.push_str("|---|---|---:|---:|---|\n");
+    for o in outcomes {
+        let (verdict, regressions, notes) = match &o.report {
+            Ok(r) if r.passed() => ("✅ pass".to_string(), r.regressions.len(), r.notes.len()),
+            Ok(r) => ("❌ fail".to_string(), r.regressions.len(), r.notes.len()),
+            Err(_) => ("❌ error".to_string(), 0, 0),
+        };
+        let cache = o.cache.map_or("—".to_string(), |c| {
+            format!("{}/{}/{}", c.hits, c.misses, c.invalidated)
+        });
+        out.push_str(&format!(
+            "| {} | {verdict} | {regressions} | {notes} | {cache} |\n",
+            o.experiment
+        ));
+    }
+    if let Some(total) = total_cache(outcomes) {
+        out.push_str(&format!(
+            "\nCache totals: **{} hits**, **{} misses**, **{} invalidated** \
+             ({} cells executed).\n",
+            total.hits,
+            total.misses,
+            total.invalidated,
+            total.executed()
+        ));
+    }
+    // The worst diffs: the first few regressions (or the error) of each
+    // failing experiment, so the common failures read without artifacts.
+    const WORST_PER_EXPERIMENT: usize = 5;
+    for o in outcomes.iter().filter(|o| !o.passed()) {
+        out.push_str(&format!("\n### {} — worst diffs\n\n", o.experiment));
+        match &o.report {
+            Ok(r) => {
+                for regression in r.regressions.iter().take(WORST_PER_EXPERIMENT) {
+                    out.push_str(&format!("- {regression}\n"));
+                }
+                if r.regressions.len() > WORST_PER_EXPERIMENT {
+                    out.push_str(&format!(
+                        "- … and {} more (see `BENCH_gate_report.json`)\n",
+                        r.regressions.len() - WORST_PER_EXPERIMENT
+                    ));
+                }
+            }
+            Err(e) => out.push_str(&format!("- gate error: {e}\n")),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -912,6 +997,7 @@ mod tests {
             config: result.config.clone(),
             cases: result.cases.clone(),
             extra: Vec::new(),
+            cache: None,
         };
         let from_cells = baseline_doc(&stripped);
         assert_eq!(from_json.get("fits"), from_cells.get("fits"));
@@ -947,6 +1033,11 @@ mod tests {
             GateOutcome {
                 experiment: "scenario_matrix",
                 report: Ok(DiffReport::default()),
+                cache: Some(CacheStats {
+                    hits: 40,
+                    misses: 2,
+                    invalidated: 1,
+                }),
             },
             GateOutcome {
                 experiment: "fig1_path",
@@ -954,10 +1045,16 @@ mod tests {
                     regressions: vec!["scalar within_2n_rate: drifted".into()],
                     notes: vec![],
                 }),
+                cache: Some(CacheStats {
+                    hits: 2,
+                    misses: 0,
+                    invalidated: 0,
+                }),
             },
             GateOutcome {
                 experiment: "table1_lower",
                 report: Err("cannot read baseline".into()),
+                cache: None,
             },
         ];
         let doc = gate_report_doc(dir, &outcomes);
@@ -967,9 +1064,80 @@ mod tests {
         assert_eq!(rows[0].get("passed"), Some(&Json::Bool(true)));
         assert_eq!(rows[1].get("passed"), Some(&Json::Bool(false)));
         assert!(rows[2].get("error").is_some());
+        // Per-experiment and aggregate cache accounting land in the doc.
+        let cache = rows[0].get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(40.0));
+        let total = doc.get("cache").unwrap();
+        assert_eq!(total.get("hits").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(total.get("misses").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(total.get("invalidated").and_then(Json::as_f64), Some(1.0));
         // Round-trips through the parser (it is written to disk by the
         // CLI and uploaded by CI).
         assert_eq!(Json::parse(&doc.to_string_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn gate_summary_markdown_renders_verdicts_cache_and_worst_diffs() {
+        let dir = std::path::Path::new("bench-baselines");
+        let outcomes = vec![
+            GateOutcome {
+                experiment: "scenario_matrix",
+                report: Ok(DiffReport::default()),
+                cache: Some(CacheStats {
+                    hits: 40,
+                    misses: 0,
+                    invalidated: 0,
+                }),
+            },
+            GateOutcome {
+                experiment: "fig1_path",
+                report: Ok(DiffReport {
+                    regressions: (0..7).map(|i| format!("scalar s{i}: drifted")).collect(),
+                    notes: vec!["note".into()],
+                }),
+                cache: Some(CacheStats {
+                    hits: 1,
+                    misses: 3,
+                    invalidated: 0,
+                }),
+            },
+            GateOutcome {
+                experiment: "table1_lower",
+                report: Err("cannot read baseline".into()),
+                cache: None,
+            },
+        ];
+        let md = gate_summary_markdown(dir, &outcomes);
+        assert!(md.contains("## Bench gate: ❌ fail"), "{md}");
+        assert!(
+            md.contains("| scenario_matrix | ✅ pass | 0 | 0 | 40/0/0 |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| fig1_path | ❌ fail | 7 | 1 | 1/3/0 |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| table1_lower | ❌ error | 0 | 0 | — |"),
+            "{md}"
+        );
+        assert!(md.contains("**41 hits**"), "{md}");
+        // Worst diffs truncate at five with a pointer to the artifact.
+        assert!(md.contains("scalar s4: drifted"), "{md}");
+        assert!(!md.contains("scalar s5: drifted"), "{md}");
+        assert!(md.contains("and 2 more"), "{md}");
+        assert!(md.contains("gate error: cannot read baseline"), "{md}");
+        // An all-pass gate renders the pass header and no diff sections.
+        let md = gate_summary_markdown(
+            dir,
+            &[GateOutcome {
+                experiment: "scenario_matrix",
+                report: Ok(DiffReport::default()),
+                cache: None,
+            }],
+        );
+        assert!(md.contains("## Bench gate: ✅ pass"), "{md}");
+        assert!(!md.contains("worst diffs"), "{md}");
     }
 
     fn plant(doc: &Json, mutate: impl Fn(&mut Json)) -> Json {

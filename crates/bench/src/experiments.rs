@@ -25,8 +25,9 @@ use ebc_core::util::NodeRngs;
 use ebc_graphs::deterministic::{cycle, grid, k2k, star};
 use ebc_radio::{Model, Sim};
 
+use crate::cache::CacheStats;
 use crate::json::Json;
-use crate::measure::{sweep_broadcast, sweep_seeds, Case, RunConfig};
+use crate::measure::{Case, CaseRunner, RunConfig};
 
 /// A named experiment: metadata plus its runner.
 pub struct ExperimentSpec {
@@ -38,8 +39,10 @@ pub struct ExperimentSpec {
     pub paper: &'static str,
     /// What shape to expect in the numbers, in one sentence.
     pub note: &'static str,
-    /// Runs the experiment under `config`.
-    pub run: fn(&RunConfig) -> ExperimentOutput,
+    /// Runs the experiment under `config`, executing every cell through
+    /// `runner` (which serves warm cells from the content-addressed cache
+    /// when one is configured).
+    pub run: fn(&RunConfig, &mut CaseRunner) -> ExperimentOutput,
     /// Experiment-specific scalars for the baseline regression gate
     /// (e.g. `fig1_path`'s `within_2n` rate, Theorem 2's slot counts) —
     /// folded into [`Gateable::gate_scalars`] next to the generic
@@ -223,6 +226,9 @@ pub struct ExperimentResult {
     pub cases: Vec<Case>,
     /// Experiment-specific top-level JSON fields.
     pub extra: Vec<(&'static str, Json)>,
+    /// Cell-cache accounting for this run — `Some` iff a cache was
+    /// configured ([`RunConfig::cache_dir`]).
+    pub cache: Option<CacheStats>,
 }
 
 /// The JSON schema version stamped into every emitted file. Bump on any
@@ -247,6 +253,9 @@ impl ExperimentResult {
                     .field("quick", self.config.quick)
                     .field("threads", rayon::current_num_threads()),
             );
+        if let Some(cache) = self.cache {
+            doc = doc.field("cache", cache.to_json());
+        }
         for (k, v) in &self.extra {
             doc = doc.field(k, v.clone());
         }
@@ -257,14 +266,17 @@ impl ExperimentResult {
     }
 }
 
-/// Runs `spec` under `config`.
+/// Runs `spec` under `config`, routing every cell through the cell cache
+/// when `config.cache_dir` is set.
 pub fn run_experiment(spec: &'static ExperimentSpec, config: &RunConfig) -> ExperimentResult {
-    let output = (spec.run)(config);
+    let mut runner = CaseRunner::new(spec.name, config);
+    let output = (spec.run)(config, &mut runner);
     ExperimentResult {
         spec,
         config: config.clone(),
         cases: output.cases,
         extra: output.extra,
+        cache: runner.finish(),
     }
 }
 
@@ -293,7 +305,7 @@ fn sizes<'a>(config: &RunConfig, full: &'a [usize], quick: &'a [usize]) -> &'a [
 
 /// E1/E5/E7 — Table 1 randomized rows: Theorem 11 under LOCAL / CD /
 /// No-CD and Theorem 12 under CD, swept over `n` on rings.
-fn run_table1_randomized(config: &RunConfig) -> ExperimentOutput {
+fn run_table1_randomized(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let t11 = Theorem11Config::default();
     let t12 = Theorem12Config::default();
     let mut cases = Vec::new();
@@ -307,18 +319,20 @@ fn run_table1_randomized(config: &RunConfig) -> ExperimentOutput {
         ];
         for &(algorithm, model, full_seeds) in variants {
             let seeds = config.seeds_for_size(full_seeds, n, 64);
-            let measurements = sweep_broadcast(&g, model, seeds, |s| match algorithm {
-                "theorem11" => broadcast_theorem11(s, 0, &t11).all_informed(),
-                _ => broadcast_theorem12(s, 0, &t12).all_informed(),
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_broadcast_case(
                 vec![
                     ("graph", "cycle".into()),
                     ("n", n.into()),
                     ("algorithm", algorithm.into()),
                     ("model", model_name(model).into()),
                 ],
-                measurements,
+                &g,
+                model,
+                seeds,
+                |s| match algorithm {
+                    "theorem11" => broadcast_theorem11(s, 0, &t11).all_informed(),
+                    _ => broadcast_theorem12(s, 0, &t12).all_informed(),
+                },
             ));
         }
     }
@@ -326,7 +340,7 @@ fn run_table1_randomized(config: &RunConfig) -> ExperimentOutput {
 }
 
 /// E2 — Theorem 16's `O(D^{1+ε})` time on grids vs Theorem 11.
-fn run_table1_dtime(config: &RunConfig) -> ExperimentOutput {
+fn run_table1_dtime(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let t16 = Theorem16Config {
         beta_override: Some(0.25),
         ..Theorem16Config::default()
@@ -337,14 +351,7 @@ fn run_table1_dtime(config: &RunConfig) -> ExperimentOutput {
         let g = Arc::new(grid(side, side));
         let seeds = config.seeds_for_size(2, side * side, 64);
         for (algorithm, m16) in [("theorem16", true), ("theorem11", false)] {
-            let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
-                if m16 {
-                    broadcast_theorem16(s, 0, &t16).all_informed()
-                } else {
-                    broadcast_theorem11(s, 0, &t11).all_informed()
-                }
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_broadcast_case(
                 vec![
                     ("graph", format!("grid {side}x{side}").into()),
                     ("n", (side * side).into()),
@@ -352,7 +359,16 @@ fn run_table1_dtime(config: &RunConfig) -> ExperimentOutput {
                     ("algorithm", algorithm.into()),
                     ("model", model_name(Model::NoCd).into()),
                 ],
-                measurements,
+                &g,
+                Model::NoCd,
+                seeds,
+                |s| {
+                    if m16 {
+                        broadcast_theorem16(s, 0, &t16).all_informed()
+                    } else {
+                        broadcast_theorem11(s, 0, &t11).all_informed()
+                    }
+                },
             ));
         }
     }
@@ -360,28 +376,30 @@ fn run_table1_dtime(config: &RunConfig) -> ExperimentOutput {
 }
 
 /// E3 — Corollary 13: bounded-degree No-CD via LOCAL simulation.
-fn run_table1_bounded(config: &RunConfig) -> ExperimentOutput {
+fn run_table1_bounded(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
     for &n in sizes(config, &[64, 128, 256, 512], &[64, 128]) {
         let g = Arc::new(cycle(n));
         let seeds = config.seeds_for_size(2, n, 64);
         for (algorithm, cor13) in [("corollary13", true), ("theorem11", false)] {
-            let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
-                if cor13 {
-                    broadcast_corollary13(s, 0).all_informed()
-                } else {
-                    broadcast_theorem11(s, 0, &t11).all_informed()
-                }
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_broadcast_case(
                 vec![
                     ("graph", "cycle".into()),
                     ("n", n.into()),
                     ("algorithm", algorithm.into()),
                     ("model", model_name(Model::NoCd).into()),
                 ],
-                measurements,
+                &g,
+                Model::NoCd,
+                seeds,
+                |s| {
+                    if cor13 {
+                        broadcast_corollary13(s, 0).all_informed()
+                    } else {
+                        broadcast_theorem11(s, 0, &t11).all_informed()
+                    }
+                },
             ));
         }
     }
@@ -390,22 +408,12 @@ fn run_table1_bounded(config: &RunConfig) -> ExperimentOutput {
 
 /// E4 — the Theorem 2 reduction on `K_{2,k}`: leader-election slot counts
 /// against the analytic lower bounds, plus broadcast energy on the gadget.
-fn run_table1_lower(config: &RunConfig) -> ExperimentOutput {
+fn run_table1_lower(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &k in sizes(config, &[8, 32, 128, 512], &[8, 32]) {
         let le_seeds = config.seeds_for_size(10, k, 8);
         for (protocol, model) in [("decay", Model::NoCd), ("uniform", Model::Cd)] {
-            let measurements = sweep_seeds(le_seeds, |seed| {
-                let (r, _) = match protocol {
-                    "decay" => run_reduction(k, model, |_| DecayMiddle::new(k), seed, 100_000),
-                    _ => run_reduction(k, model, |_| UniformCdMiddle::new(k), seed, 100_000),
-                };
-                vec![
-                    ("le_slots", r.slots as f64),
-                    ("elected", f64::from(u8::from(r.leader.is_some()))),
-                ]
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_case(
                 vec![
                     ("gadget", "k2k".into()),
                     ("k", k.into()),
@@ -413,16 +421,23 @@ fn run_table1_lower(config: &RunConfig) -> ExperimentOutput {
                     ("model", model_name(model).into()),
                     ("bound_f1pct", theorem2_lower_bound(model, k, 0.01).into()),
                 ],
-                measurements,
+                le_seeds,
+                |seed| {
+                    let (r, _) = match protocol {
+                        "decay" => run_reduction(k, model, |_| DecayMiddle::new(k), seed, 100_000),
+                        _ => run_reduction(k, model, |_| UniformCdMiddle::new(k), seed, 100_000),
+                    };
+                    vec![
+                        ("le_slots", r.slots as f64),
+                        ("elected", f64::from(u8::from(r.leader.is_some()))),
+                    ]
+                },
             ));
         }
         // Broadcast energy on the gadget itself (Theorem 11, CD): always
         // far above the reduction-derived bound.
         let g = Arc::new(k2k(k));
-        let measurements = sweep_broadcast(&g, Model::Cd, config.seeds_for_size(2, k, 8), |s| {
-            broadcast_theorem11(s, 0, &Theorem11Config::default()).all_informed()
-        });
-        cases.push(Case::new(
+        cases.push(runner.run_broadcast_case(
             vec![
                 ("gadget", "k2k".into()),
                 ("k", k.into()),
@@ -433,14 +448,17 @@ fn run_table1_lower(config: &RunConfig) -> ExperimentOutput {
                     theorem2_lower_bound(Model::Cd, k, 0.01).into(),
                 ),
             ],
-            measurements,
+            &g,
+            Model::Cd,
+            config.seeds_for_size(2, k, 8),
+            |s| broadcast_theorem11(s, 0, &Theorem11Config::default()).all_informed(),
         ));
     }
     cases.into()
 }
 
 /// E6 — Theorem 20: lower CD energy bought with much more time.
-fn run_table1_cdfast(config: &RunConfig) -> ExperimentOutput {
+fn run_table1_cdfast(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let t20 = Theorem20Config::default();
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
@@ -448,21 +466,23 @@ fn run_table1_cdfast(config: &RunConfig) -> ExperimentOutput {
         let g = Arc::new(cycle(n));
         let seeds = config.seeds_for_size(2, n, 32);
         for (algorithm, is20) in [("theorem20", true), ("theorem11", false)] {
-            let measurements = sweep_broadcast(&g, Model::Cd, seeds, |s| {
-                if is20 {
-                    broadcast_theorem20(s, 0, &t20).all_informed()
-                } else {
-                    broadcast_theorem11(s, 0, &t11).all_informed()
-                }
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_broadcast_case(
                 vec![
                     ("graph", "cycle".into()),
                     ("n", n.into()),
                     ("algorithm", algorithm.into()),
                     ("model", model_name(Model::Cd).into()),
                 ],
-                measurements,
+                &g,
+                Model::Cd,
+                seeds,
+                |s| {
+                    if is20 {
+                        broadcast_theorem20(s, 0, &t20).all_informed()
+                    } else {
+                        broadcast_theorem11(s, 0, &t11).all_informed()
+                    }
+                },
             ));
         }
     }
@@ -471,26 +491,28 @@ fn run_table1_cdfast(config: &RunConfig) -> ExperimentOutput {
 
 /// E8/E9 — deterministic rows (Theorems 25 and 27); a single seed, the
 /// algorithms are deterministic.
-fn run_table1_det(config: &RunConfig) -> ExperimentOutput {
+fn run_table1_det(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &n in sizes(config, &[16, 32, 64], &[16, 32]) {
         let g = Arc::new(cycle(n));
         for (algorithm, model) in [("theorem25", Model::Local), ("theorem27", Model::Cd)] {
-            let measurements = sweep_broadcast(&g, model, 1, |s| {
-                if model == Model::Local {
-                    broadcast_det_local(s, 0, &DetLocalConfig::default()).all_informed()
-                } else {
-                    broadcast_det_cd(s, 0, &DetCdConfig::default()).all_informed()
-                }
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_broadcast_case(
                 vec![
                     ("graph", "cycle".into()),
                     ("n", n.into()),
                     ("algorithm", algorithm.into()),
                     ("model", model_name(model).into()),
                 ],
-                measurements,
+                &g,
+                model,
+                1,
+                |s| {
+                    if model == Model::Local {
+                        broadcast_det_local(s, 0, &DetLocalConfig::default()).all_informed()
+                    } else {
+                        broadcast_det_cd(s, 0, &DetCdConfig::default()).all_informed()
+                    }
+                },
             ));
         }
     }
@@ -499,7 +521,7 @@ fn run_table1_det(config: &RunConfig) -> ExperimentOutput {
 
 /// E10/E11 — the §8 path algorithm: ≤ 2n delivery time at `O(log n)`
 /// expected per-vertex energy.
-fn run_fig1_path(config: &RunConfig) -> ExperimentOutput {
+fn run_fig1_path(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let mut cases = Vec::new();
     for &exp in sizes(config, &[8, 10, 12, 14], &[8, 10]) {
         let n = 1usize << exp;
@@ -508,23 +530,23 @@ fn run_fig1_path(config: &RunConfig) -> ExperimentOutput {
             oriented: true,
             cap_blocking: true,
         };
-        let measurements = sweep_seeds(seeds, |seed| {
-            let (stats, engine) = path_broadcast(n, 0, &cfg, seed);
-            assert!(stats.all_informed, "path broadcast failed (seed {seed})");
-            let r = engine.meter().report();
-            vec![
-                ("time", stats.delivery_time as f64),
-                (
-                    "within_2n",
-                    f64::from(u8::from(stats.delivery_time <= 2 * n as u64)),
-                ),
-                ("energy_max", r.max as f64),
-                ("energy_mean", r.mean),
-            ]
-        });
-        cases.push(Case::new(
+        cases.push(runner.run_case(
             vec![("graph", "path".into()), ("n", n.into())],
-            measurements,
+            seeds,
+            |seed| {
+                let (stats, engine) = path_broadcast(n, 0, &cfg, seed);
+                assert!(stats.all_informed, "path broadcast failed (seed {seed})");
+                let r = engine.meter().report();
+                vec![
+                    ("time", stats.delivery_time as f64),
+                    (
+                        "within_2n",
+                        f64::from(u8::from(stats.delivery_time <= 2 * n as u64)),
+                    ),
+                    ("energy_max", r.max as f64),
+                    ("energy_mean", r.mean),
+                ]
+            },
         ));
     }
     cases.into()
@@ -532,7 +554,7 @@ fn run_fig1_path(config: &RunConfig) -> ExperimentOutput {
 
 /// E12 — ablations: SR-primitive receiver energies (Lemmas 7/8 vs the CD
 /// transform) and `Partition(β)` statistics (Lemmas 14/15).
-fn run_ablation(config: &RunConfig) -> ExperimentOutput {
+fn run_ablation(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let mut cases = Vec::new();
     // Receiver energy of the two SR primitives on stars of growing degree.
     for &delta in sizes(config, &[8, 64, 512], &[8, 64]) {
@@ -540,37 +562,37 @@ fn run_ablation(config: &RunConfig) -> ExperimentOutput {
         let senders: Vec<(usize, u32)> = (1..=delta).map(|v| (v, v as u32)).collect();
         let seeds = config.seeds_for_size(10, delta, 8);
         for primitive in ["decay", "cd_transform"] {
-            let measurements = sweep_seeds(seeds, |seed| {
-                let (model, sr, stream) = if primitive == "decay" {
-                    (Model::NoCd, Sr::Decay { delta, sweeps: 20 }, 1)
-                } else {
-                    (
-                        Model::Cd,
-                        Sr::CdTransform {
-                            delta,
-                            epochs: 30,
-                            relevance_check: false,
-                        },
-                        2,
-                    )
-                };
-                let mut sim = Sim::new(Arc::clone(&g), model, seed);
-                let got = sr.run(
-                    &mut sim,
-                    &senders,
-                    &[0],
-                    &mut NodeRngs::new(seed, delta + 1, stream),
-                );
-                assert!(got[0].is_some(), "SR delivered nothing (seed {seed})");
-                vec![("receiver_energy", sim.meter().energy(0) as f64)]
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_case(
                 vec![
                     ("graph", "star".into()),
                     ("delta", delta.into()),
                     ("primitive", primitive.into()),
                 ],
-                measurements,
+                seeds,
+                |seed| {
+                    let (model, sr, stream) = if primitive == "decay" {
+                        (Model::NoCd, Sr::Decay { delta, sweeps: 20 }, 1)
+                    } else {
+                        (
+                            Model::Cd,
+                            Sr::CdTransform {
+                                delta,
+                                epochs: 30,
+                                relevance_check: false,
+                            },
+                            2,
+                        )
+                    };
+                    let mut sim = Sim::new(Arc::clone(&g), model, seed);
+                    let got = sr.run(
+                        &mut sim,
+                        &senders,
+                        &[0],
+                        &mut NodeRngs::new(seed, delta + 1, stream),
+                    );
+                    assert!(got[0].is_some(), "SR delivered nothing (seed {seed})");
+                    vec![("receiver_energy", sim.meter().energy(0) as f64)]
+                },
             ));
         }
     }
@@ -580,20 +602,7 @@ fn run_ablation(config: &RunConfig) -> ExperimentOutput {
     let g = Arc::new(cycle(n));
     for beta in [0.1f64, 0.2, 0.3] {
         let seeds = config.seeds_for(5);
-        let measurements = sweep_seeds(seeds, |seed| {
-            let mut sim = Sim::new(Arc::clone(&g), Model::Local, seed);
-            let mut rngs = NodeRngs::new(seed, n, 9);
-            let st = partition_beta(&mut sim, beta, &Sr::Local, &mut rngs);
-            let (cg, _) = st.cluster_graph(&g);
-            vec![
-                ("cut_fraction", st.edge_cut_fraction(&g)),
-                (
-                    "cluster_diameter",
-                    f64::from(cg.diameter_exact().unwrap_or(0)),
-                ),
-            ]
-        });
-        cases.push(Case::new(
+        cases.push(runner.run_case(
             vec![
                 ("graph", "cycle".into()),
                 ("n", n.into()),
@@ -604,7 +613,20 @@ fn run_ablation(config: &RunConfig) -> ExperimentOutput {
                     (3.0 * beta * (n / 2) as f64).into(),
                 ),
             ],
-            measurements,
+            seeds,
+            |seed| {
+                let mut sim = Sim::new(Arc::clone(&g), Model::Local, seed);
+                let mut rngs = NodeRngs::new(seed, n, 9);
+                let st = partition_beta(&mut sim, beta, &Sr::Local, &mut rngs);
+                let (cg, _) = st.cluster_graph(&g);
+                vec![
+                    ("cut_fraction", st.edge_cut_fraction(&g)),
+                    (
+                        "cluster_diameter",
+                        f64::from(cg.diameter_exact().unwrap_or(0)),
+                    ),
+                ]
+            },
         ));
     }
     cases.into()
@@ -612,28 +634,30 @@ fn run_ablation(config: &RunConfig) -> ExperimentOutput {
 
 /// E13 — the baseline gap: BGI decay's `Θ(D)` energy vs Theorem 11's
 /// polylog, on growing rings.
-fn run_baseline_gap(config: &RunConfig) -> ExperimentOutput {
+fn run_baseline_gap(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let t11 = Theorem11Config::default();
     let mut cases = Vec::new();
     for &n in sizes(config, &[128, 256, 512, 1024], &[128, 256]) {
         let g = Arc::new(cycle(n));
         let seeds = config.seeds_for_size(2, n, 128);
         for (algorithm, is11) in [("theorem11", true), ("bgi_decay", false)] {
-            let measurements = sweep_broadcast(&g, Model::NoCd, seeds, |s| {
-                if is11 {
-                    broadcast_theorem11(s, 0, &t11).all_informed()
-                } else {
-                    bgi_decay_broadcast(s, 0, None).all_informed()
-                }
-            });
-            cases.push(Case::new(
+            cases.push(runner.run_broadcast_case(
                 vec![
                     ("graph", "cycle".into()),
                     ("n", n.into()),
                     ("algorithm", algorithm.into()),
                     ("model", model_name(Model::NoCd).into()),
                 ],
-                measurements,
+                &g,
+                Model::NoCd,
+                seeds,
+                |s| {
+                    if is11 {
+                        broadcast_theorem11(s, 0, &t11).all_informed()
+                    } else {
+                        bgi_decay_broadcast(s, 0, None).all_informed()
+                    }
+                },
             ));
         }
     }

@@ -5,7 +5,13 @@
 //!
 //! * [`measure`] — [`measure::Measurement`] / [`measure::Summary`] and the
 //!   rayon-parallel seed sweeps ([`measure::sweep_seeds`],
-//!   [`measure::sweep_broadcast`]).
+//!   [`measure::sweep_broadcast`]), plus the [`measure::CaseRunner`]
+//!   executor routing every cell through the cache.
+//! * [`cache`] — the content-addressed cell cache: on-disk results keyed
+//!   on `(cell-config hash, per-crate source digests)`, making
+//!   `--check-against` / `--update-baselines` incremental (warm cells
+//!   skip execution; a graphs-only edit invalidates only graph-sensitive
+//!   cells).
 //! * [`experiments`] — the registry: one [`experiments::ExperimentSpec`]
 //!   per experiment, run via [`experiments::run_experiment`], producing an
 //!   [`experiments::ExperimentResult`].
@@ -27,6 +33,8 @@
 //!   serialize through (schema-stable field order), with a parser for
 //!   reading baselines back.
 //! * [`report`] — aligned human-readable tables of the same results.
+//! * [`serve`] (unix) — the `--serve` loop answering fingerprint and
+//!   warm-cell queries over a unix socket.
 //!
 //! The CLI (`cargo run -p ebc-bench -- --list`) and the `cargo bench`
 //! targets under `benches/` are thin wrappers over [`run_to_files`].
@@ -38,11 +46,14 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod cache;
 pub mod experiments;
 pub mod json;
 pub mod measure;
 pub mod report;
 pub mod scenario;
+#[cfg(unix)]
+pub mod serve;
 pub mod stats;
 
 pub use experiments::{

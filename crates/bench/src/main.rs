@@ -18,15 +18,26 @@
 //! re-run and its summary means, gate scalars, and fitted scaling
 //! exponents (by bootstrap-CI overlap) are diffed against the checked-in
 //! `<dir>/<experiment>.json`, exiting nonzero on any out-of-tolerance
-//! drift and writing a per-experiment `BENCH_gate_report.json` to the
+//! drift and writing a per-experiment `BENCH_gate_report.json` (plus a
+//! markdown `BENCH_gate_summary.md` for CI step summaries) to the
 //! output directory. `--update-baselines` refreshes the whole
 //! `bench-baselines/` directory in one step. Both force an unlimited
 //! per-cell budget so the gated case set never depends on machine speed.
+//!
+//! Every run drains through the on-disk cell cache (`--cache-dir`,
+//! default `.ebc-cache`): a cell whose config and dependency sources are
+//! unchanged loads from disk instead of re-executing, so a warm
+//! `--check-against` run re-executes zero cells. `--no-cache` opts out,
+//! `--print-fingerprint` emits the code-version hash CI keys its cache
+//! restore on, and hit/miss/invalidation counts land in
+//! `BENCH_cache_stats.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ebc_bench::baseline::{self, GateOutcome, Tolerances};
+use ebc_bench::cache::{CacheStats, SourceDigests};
+use ebc_bench::json::Json;
 use ebc_bench::measure::UNLIMITED_BUDGET_MS;
 use ebc_bench::{
     find_experiment, report_and_write, run_experiment, ExperimentSpec, RunConfig, EXPERIMENTS,
@@ -35,6 +46,9 @@ use ebc_bench::{
 /// Where `--update-baselines` writes (and CI reads) the checked-in gate.
 const BASELINE_DIR: &str = "bench-baselines";
 
+/// Default on-disk cell cache (CI persists this across runs).
+const CACHE_DIR: &str = ".ebc-cache";
+
 struct Args {
     list: bool,
     experiments: Vec<String>,
@@ -42,6 +56,10 @@ struct Args {
     out_dir: PathBuf,
     check_against: Option<PathBuf>,
     update_baselines: bool,
+    cache_dir: PathBuf,
+    no_cache: bool,
+    print_fingerprint: bool,
+    serve: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -73,6 +91,14 @@ Options:
                          BENCH_gate_report.json and exits nonzero on drift
   --update-baselines     Rewrite bench-baselines/ (one file per registered
                          experiment) from fresh quick runs, then exit
+  --cache-dir <DIR>      On-disk cell cache: warm cells (same cell config
+                         and unchanged dependency sources) are loaded
+                         instead of re-executed (default .ebc-cache)
+  --no-cache             Disable the cell cache (every cell re-executes)
+  --print-fingerprint    Print the combined code-version fingerprint (the
+                         hash CI keys the cache restore on) and exit
+  --serve <SOCKET>       Serve cache queries (ping/fingerprint/stats/cell)
+                         on a unix socket until a client sends quit
   --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
   --threads <N>          Worker threads for seed sweeps (default: all cores)
   -h, --help             Show this help
@@ -86,6 +112,10 @@ fn parse_args() -> Result<Args, String> {
         out_dir: PathBuf::from("."),
         check_against: None,
         update_baselines: false,
+        cache_dir: PathBuf::from(CACHE_DIR),
+        no_cache: false,
+        print_fingerprint: false,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -126,6 +156,10 @@ fn parse_args() -> Result<Args, String> {
                 args.check_against = Some(PathBuf::from(value("--check-against")?))
             }
             "--update-baselines" => args.update_baselines = true,
+            "--cache-dir" => args.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--no-cache" => args.no_cache = true,
+            "--print-fingerprint" => args.print_fingerprint = true,
+            "--serve" => args.serve = Some(PathBuf::from(value("--serve")?)),
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
             "--threads" => {
                 let v = value("--threads")?;
@@ -154,14 +188,83 @@ fn gated_run(spec: &'static ExperimentSpec, config: &RunConfig) -> ebc_bench::Ex
     run_experiment(spec, &config)
 }
 
+/// Writes `BENCH_cache_stats.json`: the combined fingerprint, every
+/// per-crate digest, and hit/miss/invalidation counts per experiment
+/// plus in total. CI parses this to assert a warm gate re-executes
+/// nothing and uploads it as an artifact.
+fn write_cache_stats(
+    out_dir: &std::path::Path,
+    per_experiment: &[(&'static str, CacheStats)],
+) -> std::io::Result<PathBuf> {
+    let mut total = CacheStats::default();
+    let mut rows = Vec::new();
+    for (name, stats) in per_experiment {
+        total.add(*stats);
+        rows.push(
+            Json::obj()
+                .field("experiment", *name)
+                .field("cache", stats.to_json()),
+        );
+    }
+    let mut doc = Json::obj().field("cache_stats_schema", 1u64);
+    match SourceDigests::compute() {
+        Ok(digests) => {
+            doc = doc
+                .field("fingerprint", digests.combined())
+                .field("crates", digests.to_json());
+        }
+        Err(e) => doc = doc.field("fingerprint_error", e),
+    }
+    let doc = doc
+        .field("experiments", Json::Arr(rows))
+        .field("total", total.to_json());
+    let path = out_dir.join("BENCH_cache_stats.json");
+    std::fs::write(&path, doc.to_string_pretty())?;
+    Ok(path)
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if args.print_fingerprint {
+        return match SourceDigests::compute() {
+            Ok(digests) => {
+                println!("{}", digests.combined());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(socket) = &args.serve {
+        #[cfg(unix)]
+        return match ebc_bench::serve::serve(socket, &args.cache_dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+        #[cfg(not(unix))]
+        {
+            let _ = socket;
+            eprintln!("error: --serve needs unix sockets");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !args.no_cache {
+        args.config.cache_dir = Some(args.cache_dir.clone());
+    }
 
     if args.list {
         println!("{:<20} TITLE", "NAME");
@@ -232,6 +335,7 @@ fn main() -> ExitCode {
     // With `--check-against` every selected run doubles as its own gate
     // run (budget pinned so the case set is machine-independent).
     let mut outcomes: Vec<GateOutcome> = Vec::new();
+    let mut cache_rows: Vec<(&'static str, CacheStats)> = Vec::new();
     for spec in selected {
         let started = std::time::Instant::now();
         let result = if args.check_against.is_some() {
@@ -250,11 +354,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(stats) = result.cache {
+            cache_rows.push((spec.name, stats));
+        }
         if let Some(dir) = &args.check_against {
             outcomes.push(GateOutcome {
                 experiment: spec.name,
                 report: baseline::check_against(dir, &result, &Tolerances::default()),
+                cache: result.cache,
             });
+        }
+    }
+
+    if !cache_rows.is_empty() {
+        match write_cache_stats(&args.out_dir, &cache_rows) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing cache stats: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -268,6 +386,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {}", report_path.display());
+        let summary_path = args.out_dir.join("BENCH_gate_summary.md");
+        if let Err(e) = std::fs::write(
+            &summary_path,
+            baseline::gate_summary_markdown(dir, &outcomes),
+        ) {
+            eprintln!("error: writing {}: {e}", summary_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", summary_path.display());
         let mut failed = 0usize;
         for outcome in &outcomes {
             match &outcome.report {

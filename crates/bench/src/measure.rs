@@ -8,11 +8,13 @@
 //! [`Sim`] over one shared `Arc<Graph>`: the CSR arrays are allocated once
 //! per case and never deep-cloned per seed.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use ebc_radio::{Graph, Model, Sim};
 use rayon::prelude::*;
 
+use crate::cache::{self, CacheStats, CellCache, Lookup};
 use crate::json::Json;
 
 /// How an experiment run is configured (from the CLI).
@@ -40,6 +42,11 @@ pub struct RunConfig {
     /// Bootstrap resamples per fitted statistic and report CI; `None`
     /// uses [`crate::stats::DEFAULT_RESAMPLES`].
     pub resamples: Option<usize>,
+    /// Where the content-addressed cell cache lives; `None` disables
+    /// caching entirely (every cell recomputes). The CLI defaults this to
+    /// `.ebc-cache` unless `--no-cache` is given; library callers and
+    /// tests default to disabled.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -366,6 +373,126 @@ pub fn standard_metrics(r: &ebc_radio::EnergyReport) -> Vec<(&'static str, f64)>
         ("energy_p95", r.p95 as f64),
         ("energy_total", r.total as f64),
     ]
+}
+
+/// Executes experiment cells through the content-addressed cache.
+///
+/// One runner per experiment run. Every case an experiment produces goes
+/// through [`CaseRunner::run_case`] (or the broadcast-shaped
+/// [`CaseRunner::run_broadcast_case`]): warm cells return the stored
+/// result without executing; cold and invalidated cells run their sweep
+/// through the rayon pool exactly as before and are written back to the
+/// store atomically. With no cache configured the runner degrades to a
+/// plain pass-through around [`sweep_seeds`]/[`sweep_broadcast`].
+pub struct CaseRunner {
+    experiment: &'static str,
+    cache: Option<CellCache>,
+    /// Hit/miss/invalidation tally over this runner's cells.
+    pub stats: CacheStats,
+}
+
+impl CaseRunner {
+    /// A runner for `experiment` under `config` — caching iff
+    /// `config.cache_dir` is set. An unopenable cache dir degrades to
+    /// uncached execution with a warning rather than failing the run.
+    pub fn new(experiment: &'static str, config: &RunConfig) -> CaseRunner {
+        let cache = config
+            .cache_dir
+            .as_ref()
+            .and_then(|dir| match CellCache::open(dir) {
+                Ok(cache) => Some(cache),
+                Err(err) => {
+                    eprintln!("warning: cell cache disabled: {err}");
+                    None
+                }
+            });
+        CaseRunner {
+            experiment,
+            cache,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A pass-through runner (no cache) — what library callers and tests
+    /// use when caching is irrelevant.
+    pub fn disabled(experiment: &'static str) -> CaseRunner {
+        CaseRunner {
+            experiment,
+            cache: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A runner over a pre-opened store (tests plant their own digests).
+    pub fn with_cache(experiment: &'static str, cache: CellCache) -> CaseRunner {
+        CaseRunner {
+            experiment,
+            cache: Some(cache),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether a store is attached.
+    pub fn caching(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The stats to publish: `Some` iff a store was attached (a
+    /// pass-through runner's counters are meaningless downstream).
+    pub fn finish(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|_| self.stats)
+    }
+
+    /// Runs one cell: returns the cached case if the store holds a fresh
+    /// entry for `(params, seeds)` under the current sources, else sweeps
+    /// `f` over the seeds and stores the result.
+    pub fn run_case<F>(&mut self, params: Vec<(&'static str, Json)>, seeds: u64, f: F) -> Case
+    where
+        F: Fn(u64) -> Vec<(&'static str, f64)> + Sync,
+    {
+        self.run_with(params, seeds, |s| sweep_seeds(s, &f))
+    }
+
+    /// [`CaseRunner::run_case`] in the shape of [`sweep_broadcast`]: one
+    /// `Sim` per seed over a shared graph, standard metrics.
+    pub fn run_broadcast_case<F>(
+        &mut self,
+        params: Vec<(&'static str, Json)>,
+        graph: &Arc<Graph>,
+        model: Model,
+        seeds: u64,
+        f: F,
+    ) -> Case
+    where
+        F: Fn(&mut Sim) -> bool + Sync,
+    {
+        self.run_with(params, seeds, |s| sweep_broadcast(graph, model, s, &f))
+    }
+
+    fn run_with<E>(&mut self, params: Vec<(&'static str, Json)>, seeds: u64, execute: E) -> Case
+    where
+        E: FnOnce(u64) -> Vec<Measurement>,
+    {
+        let Some(cache) = &self.cache else {
+            self.stats.misses += 1;
+            return Case::new(params, execute(seeds));
+        };
+        let key = cache::case_key(self.experiment, &params, seeds);
+        let deps = cache::deps_for(self.experiment, &params);
+        match cache.lookup(&key, deps) {
+            Lookup::Hit(case) => {
+                self.stats.hits += 1;
+                return case;
+            }
+            Lookup::Miss => self.stats.misses += 1,
+            Lookup::Invalidated => self.stats.invalidated += 1,
+        }
+        let case = Case::new(params, execute(seeds));
+        if let Err(err) = cache.store(&key, deps, &case) {
+            eprintln!("warning: cell cache store failed: {err}");
+        }
+        case
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,15 @@ pub fn render(result: &ExperimentResult) -> String {
         out.push('\n');
     }
     out.push_str(&format!("shape: {}\n", result.spec.note));
+    if let Some(cache) = &result.cache {
+        out.push_str(&format!(
+            "cache: {} hits, {} misses, {} invalidated ({} executed)\n",
+            cache.hits,
+            cache.misses,
+            cache.invalidated,
+            cache.executed()
+        ));
+    }
     // Experiment-specific top-level fields (e.g. the scenario matrix's
     // skip accounting) — scalars and flat objects, one line each.
     for (key, value) in &result.extra {

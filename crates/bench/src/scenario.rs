@@ -43,6 +43,18 @@
 //! ratio against the twin), and `lost_sends` columns; adapters that
 //! opt out via [`ebc_core::suite::BroadcastAlgorithm::fault_tolerant`]
 //! are tallied under `skipped_fault_intolerant`.
+//!
+//! The matrix runs as a *work queue*: a plan phase enumerates the
+//! surviving `(family, fault, model, algorithm)` cells into a pending
+//! queue, and a drain phase executes them in plan order — each cell's
+//! seed sweep through the rayon pool, each completed case written back
+//! to the content-addressed cell cache ([`crate::cache`]) through the
+//! [`CaseRunner`]. Warm cells come back from the store without
+//! executing; their wall-clock cost is zero, so a warm budgeted run can
+//! only *deepen* a cell's n axis relative to its cold run, never shrink
+//! it (gate runs pin an unlimited budget and are unaffected). The
+//! `truncated` flag is applied after execution and never stored, so a
+//! cached cell re-derives it under whatever budget the current run uses.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -55,7 +67,7 @@ use ebc_radio::{FaultModel, FaultPlan, Graph, JammerStrategy, Model, Sim};
 use crate::analysis;
 use crate::experiments::{model_name, ExperimentOutput};
 use crate::json::Json;
-use crate::measure::{standard_metrics, sweep_seeds, Case, RunConfig};
+use crate::measure::{standard_metrics, Case, CaseRunner, RunConfig};
 
 /// The matrix sizes: four n-points in quick (CI smoke) mode — the minimum
 /// for a meaningful scaling fit — five in full mode. Cells whose per-size
@@ -136,7 +148,17 @@ struct Skip {
     count: usize,
 }
 
-/// Runs the scenario matrix under `config`.
+/// One pending cell of the work queue: a `(family, fault, model,
+/// algorithm)` combination whose n axis the drain phase will sweep.
+struct CellJob {
+    family: Family,
+    fault: &'static str,
+    model: Model,
+    alg: &'static dyn BroadcastAlgorithm,
+}
+
+/// Runs the scenario matrix under `config`, executing every cell through
+/// `runner` (warm cells return from the cell cache without running).
 ///
 /// Every *compatible* combination is swept over the configured seeds from
 /// source 0; incompatible combinations are tallied into the output's
@@ -144,7 +166,7 @@ struct Skip {
 /// counting — the `axes` field records what survived them, and a filter
 /// that matches nothing yields an empty matrix (`total_combinations: 0`),
 /// not an error.
-pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
+pub fn run_scenario_matrix(config: &RunConfig, runner: &mut CaseRunner) -> ExperimentOutput {
     let families: Vec<Family> = Family::ALL
         .into_iter()
         .filter(|f| matches(&config.family, f.name()))
@@ -166,34 +188,53 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
     let sizes = matrix_sizes(config);
     let budget = config.cell_budget();
 
-    let mut cases = Vec::new();
-    let mut skips: Vec<Skip> = Vec::new();
-    let mut combinations = 0usize;
-    let mut truncated_cells = 0usize;
+    // Plan phase: enumerate the filtered cross-product into the pending
+    // queue, family-major so the drain phase can share one graph map per
+    // family (the case order — and with it every emitted document — is
+    // exactly the old nested-loop order).
+    let mut queue: Vec<CellJob> = Vec::new();
     for &family in &families {
-        // One graph per (family, n), built on first use; every fault,
-        // model, algorithm, and seed shares the same CSR allocation.
-        let mut graphs: BTreeMap<usize, Arc<Graph>> = BTreeMap::new();
         for &fault in &faults {
             for &model in &models {
                 for &alg in &algorithms {
-                    let truncated = run_cell(
-                        config,
+                    queue.push(CellJob {
                         family,
                         fault,
                         model,
                         alg,
-                        sizes,
-                        budget,
-                        &mut graphs,
-                        &mut cases,
-                        &mut skips,
-                        &mut combinations,
-                    );
-                    truncated_cells += usize::from(truncated);
+                    });
                 }
             }
         }
+    }
+
+    // Drain phase: execute (or cache-serve) each pending cell. One graph
+    // per (family, n), built on first use and dropped when the queue
+    // moves past its family; every fault, model, algorithm, and seed
+    // shares the same CSR allocation.
+    let mut cases = Vec::new();
+    let mut skips: Vec<Skip> = Vec::new();
+    let mut combinations = 0usize;
+    let mut truncated_cells = 0usize;
+    let mut graphs: BTreeMap<usize, Arc<Graph>> = BTreeMap::new();
+    let mut current_family: Option<Family> = None;
+    for job in &queue {
+        if current_family != Some(job.family) {
+            graphs.clear();
+            current_family = Some(job.family);
+        }
+        let truncated = run_cell(
+            config,
+            runner,
+            job,
+            sizes,
+            budget,
+            &mut graphs,
+            &mut cases,
+            &mut skips,
+            &mut combinations,
+        );
+        truncated_cells += usize::from(truncated);
     }
 
     // Scaling fits read only the clean cells — `scaling_fits` drops
@@ -278,15 +319,14 @@ pub fn run_scenario_matrix(config: &RunConfig) -> ExperimentOutput {
     ExperimentOutput { cases, extra }
 }
 
-/// Sweeps one `(family, fault, model, algorithm)` cell's n axis under the
-/// wall-clock budget. Returns whether the cell was truncated.
+/// Sweeps one pending cell's n axis under the wall-clock budget,
+/// executing each size through `runner` (cache hits cost zero budget).
+/// Returns whether the cell was truncated.
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     config: &RunConfig,
-    family: Family,
-    fault: &'static str,
-    model: Model,
-    alg: &'static dyn BroadcastAlgorithm,
+    runner: &mut CaseRunner,
+    job: &CellJob,
     sizes: &[usize],
     budget: Duration,
     graphs: &mut BTreeMap<usize, Arc<Graph>>,
@@ -294,6 +334,12 @@ fn run_cell(
     skips: &mut Vec<Skip>,
     combinations: &mut usize,
 ) -> bool {
+    let CellJob {
+        family,
+        fault,
+        model,
+        alg,
+    } = *job;
     let clean = fault == "none";
     // Headline cells sweep on past the shared sizes to the million-node
     // tier, under their own (much larger) budget; faulted cells measure
@@ -340,9 +386,19 @@ fn run_cell(
         }
         let graph = Arc::clone(graph);
         let seeds = config.seeds_for_size(2, n, sizes[0]);
+        let params = vec![
+            ("family", family.name().into()),
+            ("n", graph.n().into()),
+            ("m", graph.m().into()),
+            ("delta", graph.max_degree().into()),
+            ("fault", fault.into()),
+            ("model", model_name(model).into()),
+            ("algorithm", alg.name().into()),
+        ];
         let started = Instant::now();
-        let measurements = if clean {
-            sweep_seeds(seeds, |seed| {
+        let hits_before = runner.stats.hits;
+        let case = if clean {
+            runner.run_case(params, seeds, |seed| {
                 let mut sim = Sim::new(Arc::clone(&graph), model, seed);
                 let out = alg.run(&mut sim, 0);
                 let mut metrics = vec![
@@ -354,7 +410,7 @@ fn run_cell(
             })
         } else {
             let plan = matrix_fault_plan(fault, graph.n());
-            sweep_seeds(seeds, |seed| {
+            runner.run_case(params, seeds, |seed| {
                 // The clean twin: same graph, model, and seed — the
                 // denominator of the energy-overhead ratio.
                 let mut twin = Sim::new(Arc::clone(&graph), model, seed);
@@ -381,19 +437,13 @@ fn run_cell(
                 metrics
             })
         };
-        spent += started.elapsed();
-        cell_cases.push(Case::new(
-            vec![
-                ("family", family.name().into()),
-                ("n", graph.n().into()),
-                ("m", graph.m().into()),
-                ("delta", graph.max_degree().into()),
-                ("fault", fault.into()),
-                ("model", model_name(model).into()),
-                ("algorithm", alg.name().into()),
-            ],
-            measurements,
-        ));
+        // Only executed sizes spend budget: a warm cell is free, so a
+        // cached run can deepen an axis relative to its cold run but
+        // never shrink it.
+        if runner.stats.hits == hits_before {
+            spent += started.elapsed();
+        }
+        cell_cases.push(case);
         // The first size always runs; once the budget is spent, the rest
         // of the n axis truncates (tallied above on later iterations).
         if spent >= budget {
@@ -449,6 +499,13 @@ mod tests {
     use super::*;
     use crate::measure::UNLIMITED_BUDGET_MS;
 
+    /// The matrix with caching disabled — what every structural test
+    /// wants (cache behavior has its own tests in [`crate::cache`] and
+    /// the `cache_incremental` integration suite).
+    fn run_matrix(config: &RunConfig) -> ExperimentOutput {
+        run_scenario_matrix(config, &mut CaseRunner::disabled("scenario_matrix"))
+    }
+
     /// Quick config with a zero budget, pinned to the clean fault axis:
     /// every cell runs exactly its first size — deterministic
     /// (wall-clock-independent) and fast, which is what most structural
@@ -481,7 +538,7 @@ mod tests {
 
     #[test]
     fn quick_matrix_covers_the_claimed_cross_product() {
-        let out = run_scenario_matrix(&quick_config());
+        let out = run_matrix(&quick_config());
         let mut algorithms = std::collections::BTreeSet::new();
         let mut families = std::collections::BTreeSet::new();
         let mut models = std::collections::BTreeSet::new();
@@ -514,7 +571,7 @@ mod tests {
 
     #[test]
     fn skip_accounting_balances_the_cross_product() {
-        let out = run_scenario_matrix(&quick_config());
+        let out = run_matrix(&quick_config());
         let counts = extra_field(&out, "skip_counts");
         let total = int_field(counts, "total_combinations");
         let run = int_field(counts, "run");
@@ -545,7 +602,7 @@ mod tests {
 
     #[test]
     fn zero_budget_truncates_every_multi_size_cell() {
-        let out = run_scenario_matrix(&quick_config());
+        let out = run_matrix(&quick_config());
         let counts = extra_field(&out, "skip_counts");
         assert!(int_field(counts, "skipped_budget") > 0);
         assert!(int_field(counts, "truncated_cells") > 0);
@@ -584,7 +641,7 @@ mod tests {
         // A headline cell counts the three extra sizes toward the
         // cross-product (zero budget keeps the test fast: only the first
         // size actually runs, the extension truncates and is tallied).
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(0),
@@ -603,7 +660,7 @@ mod tests {
         assert_eq!(extras.len(), 3);
         // The same algorithm outside its headline model keeps the plain
         // four-size quick axis.
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(0),
@@ -619,7 +676,7 @@ mod tests {
 
     #[test]
     fn truncated_flag_survives_a_json_round_trip() {
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(0),
@@ -649,7 +706,7 @@ mod tests {
         // One cheap cell, unlimited budget: all four quick sizes run, the
         // fit uses all of them, and naive flooding's energy grows
         // polynomially (Θ(D) on the cycle).
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(UNLIMITED_BUDGET_MS),
@@ -691,7 +748,7 @@ mod tests {
     fn quick_matrix_sweeps_at_least_two_seeds_per_case() {
         // The bootstrap's precondition: no --seeds pin in quick mode must
         // still leave ≥ 2 measurements per case, or every CI degenerates.
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             quick: true,
             budget_ms: Some(0),
             family: Some("cycle".into()),
@@ -722,7 +779,7 @@ mod tests {
             fault: Some("none".into()),
             ..RunConfig::default()
         };
-        let out = run_scenario_matrix(&config);
+        let out = run_matrix(&config);
         assert_eq!(out.cases.len(), 1);
         let params = &out.cases[0].params;
         for (key, want) in [
@@ -741,7 +798,7 @@ mod tests {
 
     #[test]
     fn fault_cells_emit_success_and_overhead_columns() {
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(2),
             quick: true,
             budget_ms: Some(0),
@@ -788,7 +845,7 @@ mod tests {
         // No fault pin: the full axis runs. The §8 path adapter opts out
         // of fault injection, so its active-fault combinations land in
         // `skipped_fault_intolerant` and the balance still closes.
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(0),
@@ -822,7 +879,7 @@ mod tests {
         // One cheap combination across the whole fault axis, unlimited
         // budget: the clean cell sweeps all four quick sizes, faulted
         // cells stop at two — and the fits see only the clean series.
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(1),
             quick: true,
             budget_ms: Some(UNLIMITED_BUDGET_MS),
@@ -843,7 +900,7 @@ mod tests {
         // device is counted out, not against), so both rate columns must
         // stay inside [0, 1] and the run must still inform someone — the
         // cycle keeps a second route around each crashed relay.
-        let out = run_scenario_matrix(&RunConfig {
+        let out = run_matrix(&RunConfig {
             seeds: Some(2),
             quick: true,
             budget_ms: Some(0),
@@ -870,7 +927,7 @@ mod tests {
             algo: Some("nonexistent".into()),
             ..RunConfig::default()
         };
-        let out = run_scenario_matrix(&config);
+        let out = run_matrix(&config);
         assert!(out.cases.is_empty());
         assert!(extra_field(&out, "fits").as_arr().unwrap().is_empty());
     }
