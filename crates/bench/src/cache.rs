@@ -21,7 +21,12 @@
 //!   the cells whose algorithms reach single-hop code
 //!   ([`deps_for`]). The `bench` digest covers only the measurement
 //!   recipes (`experiments.rs`, `scenario.rs`, `measure.rs`) — report or
-//!   gate-layer changes never invalidate measured cells.
+//!   gate-layer changes never invalidate measured cells. Cells whose
+//!   `family` is dataset-derived additionally carry one `dataset:<file>`
+//!   pseudo-dependency per backing file, digesting the dataset's
+//!   *content* — editing the dataset on disk invalidates exactly the
+//!   dataset-backed cells, the same way a source edit invalidates its
+//!   dependents.
 //!
 //! Entries live under `<cache-dir>/<hh>/<hash16>.json` (two-hex-char
 //! shards of the FNV-1a key hash). Each entry stores the full key (hash
@@ -102,25 +107,49 @@ fn hex16(h: u64) -> String {
     format!("{h:016x}")
 }
 
-/// The dependency-crate set of one cell, from its experiment and params.
+/// The dependency set of one cell, from its experiment and params: the
+/// crate set plus — for cells whose `family` param names a
+/// dataset-derived family — one `dataset:<file>` pseudo-dependency per
+/// backing file, so editing the dataset on disk invalidates exactly the
+/// cells whose graphs were built from it. (Before this, dataset-backed
+/// cells were keyed only on crate sources and would serve stale results
+/// after a dataset edit.)
 ///
-/// The `algorithm` param (the registry name) drives the split; the
+/// The `algorithm` param (the registry name) drives the crate split; the
 /// `fig1_path` experiment is the path algorithm by construction and gets
 /// the same treatment despite carrying no `algorithm` param. Unknown
 /// algorithms — and experiments whose cells mix primitives (`ablation`,
 /// `table1_lower`) — take the full set.
-pub fn deps_for(experiment: &str, params: &[(&'static str, Json)]) -> &'static [&'static str] {
-    if experiment == "fig1_path" {
-        return NO_SINGLEHOP_DEPS;
-    }
+pub fn deps_for(experiment: &str, params: &[(&'static str, Json)]) -> Vec<&'static str> {
     let algorithm = params
         .iter()
         .find(|(k, _)| *k == "algorithm")
         .and_then(|(_, v)| v.as_str());
-    match algorithm {
-        Some(a) if NO_SINGLEHOP_ALGOS.contains(&a) => NO_SINGLEHOP_DEPS,
-        _ => FULL_DEPS,
+    let crates: &[&str] = if experiment == "fig1_path" {
+        NO_SINGLEHOP_DEPS
+    } else {
+        match algorithm {
+            Some(a) if NO_SINGLEHOP_ALGOS.contains(&a) => NO_SINGLEHOP_DEPS,
+            _ => FULL_DEPS,
+        }
+    };
+    let mut deps: Vec<&'static str> = crates.to_vec();
+    if let Some(family) = params
+        .iter()
+        .find(|(k, _)| *k == "family")
+        .and_then(|(_, v)| v.as_str())
+    {
+        for file in ebc_graphs::datasets::family_files(family) {
+            deps.push(dataset_dep(file));
+        }
     }
+    deps
+}
+
+/// The pseudo-dependency key of one dataset file (`dataset:<file>`),
+/// interned so deserialized and live cells share one `&'static str`.
+pub fn dataset_dep(file: &str) -> &'static str {
+    intern(&format!("dataset:{file}"))
 }
 
 fn canon_param(v: &Json) -> String {
@@ -161,12 +190,36 @@ impl SourceDigests {
 
     /// Computes digests for the workspace rooted at `root` (tests point
     /// this at planted source trees).
+    ///
+    /// Besides the per-crate digests, every vendored dataset file gets a
+    /// `dataset:<file>` digest — the content key dataset-backed cells
+    /// validate against. Dataset files resolve through
+    /// `$EBC_DATASET_DIR` when set (the `--dataset-dir` flag), else
+    /// `<root>/datasets`; a missing file digests as `"absent"`, so
+    /// adding the file later reads as a content change.
     pub fn compute_at(root: &Path) -> Result<SourceDigests, String> {
         let mut digests = BTreeMap::new();
         for krate in DEP_CRATES {
             digests.insert(krate, crate_digest(root, krate)?);
         }
+        let dataset_root = match std::env::var_os("EBC_DATASET_DIR") {
+            Some(dir) => PathBuf::from(dir),
+            None => root.join("datasets"),
+        };
+        for file in ebc_graphs::datasets::SAMPLE_FILES {
+            let digest = match std::fs::read(dataset_root.join(file)) {
+                Ok(bytes) => hex16(fnv1a64(&bytes)),
+                Err(_) => "absent".to_string(),
+            };
+            digests.insert(dataset_dep(file), digest);
+        }
         Ok(SourceDigests { digests })
+    }
+
+    /// The digest under `key` (a crate name or `dataset:<file>`), if
+    /// this fingerprint knows it.
+    pub fn try_digest(&self, key: &str) -> Option<&str> {
+        self.digests.get(key).map(String::as_str)
     }
 
     /// The digest of one crate (panics on names outside [`DEP_CRATES`]).
@@ -192,10 +245,12 @@ impl SourceDigests {
         hex16(h.finish())
     }
 
-    /// The combined fingerprint over every crate — what CI keys its
-    /// cross-run cache restore on.
+    /// The combined fingerprint over every dependency this store knows —
+    /// all crates *and* all dataset files — what CI keys its cross-run
+    /// cache restore on. A dataset edit moves it just like a source edit.
     pub fn combined(&self) -> String {
-        self.fingerprint(FULL_DEPS)
+        let keys: Vec<&str> = self.digests.keys().copied().collect();
+        self.fingerprint(&keys)
     }
 
     /// All per-crate digests as a JSON object (stats / serve payloads).
@@ -387,9 +442,13 @@ impl CellCache {
             return None;
         }
         let fresh = match entry.get("deps") {
-            Some(Json::Obj(pairs)) => pairs.iter().all(|(krate, digest)| {
-                DEP_CRATES.contains(&krate.as_str())
-                    && digest.as_str() == Some(self.digests.digest(krate))
+            Some(Json::Obj(pairs)) => pairs.iter().all(|(dep, digest)| {
+                // Unknown dependency names — a crate this build doesn't
+                // know, a dataset file no longer vendored — read as not
+                // fresh, never as a panic.
+                self.digests
+                    .try_digest(dep)
+                    .is_some_and(|current| digest.as_str() == Some(current))
             }),
             _ => false,
         };
@@ -737,6 +796,84 @@ mod tests {
         assert_eq!(deps_for("table1_lower", &[]), FULL_DEPS);
         // …except fig1_path, which is the path algorithm by construction.
         assert_eq!(deps_for("fig1_path", &[]), NO_SINGLEHOP_DEPS);
+    }
+
+    #[test]
+    fn deps_for_adds_dataset_files_for_dataset_families() {
+        // Synthetic families carry crate deps only.
+        let cycle = vec![
+            ("algorithm", Json::from("naive_flood")),
+            ("family", Json::from("cycle")),
+        ];
+        assert_eq!(deps_for("scenario_matrix", &cycle), NO_SINGLEHOP_DEPS);
+        // Dataset families append one dataset:<file> pseudo-dep per
+        // backing file, on top of the same crate split.
+        let ds = vec![
+            ("algorithm", Json::from("naive_flood")),
+            ("family", Json::from("ds-social")),
+        ];
+        let deps = deps_for("scenario_matrix", &ds);
+        assert_eq!(&deps[..NO_SINGLEHOP_DEPS.len()], NO_SINGLEHOP_DEPS);
+        assert_eq!(&deps[NO_SINGLEHOP_DEPS.len()..], ["dataset:sample-social.txt"]);
+        let ds_t11 = vec![
+            ("algorithm", Json::from("theorem11")),
+            ("family", Json::from("ds-unit-disk")),
+        ];
+        let deps = deps_for("scenario_matrix", &ds_t11);
+        assert_eq!(&deps[..FULL_DEPS.len()], FULL_DEPS);
+        assert_eq!(&deps[FULL_DEPS.len()..], ["dataset:sample-roadnet.co"]);
+    }
+
+    #[test]
+    fn dataset_edit_invalidates_only_dataset_backed_cells() {
+        // The planted-edit contract, mirroring
+        // source_change_invalidates_only_dependent_cells: two cells, one
+        // built from a synthetic family and one from an on-disk dataset.
+        // Editing the dataset file re-runs only the dataset-backed cell.
+        let root = plant_tree("dataset_edit");
+        let ds_dir = root.join("datasets");
+        std::fs::create_dir_all(&ds_dir).unwrap();
+        std::fs::write(ds_dir.join("sample-social.txt"), "0 1\n1 2\n").unwrap();
+        let store_dir = std::env::temp_dir().join("ebc_cache_store_dataset_edit");
+        std::fs::remove_dir_all(&store_dir).ok();
+        let cache =
+            CellCache::open_with(&store_dir, SourceDigests::compute_at(&root).unwrap()).unwrap();
+        let combined_before = cache.digests().combined();
+
+        let cycle_case = sample_case();
+        let cycle_deps = deps_for("scenario_matrix", &cycle_case.params);
+        let cycle_key = case_key("scenario_matrix", &cycle_case.params, 3);
+        let mut ds_params = cycle_case.params.clone();
+        ds_params[0].1 = Json::from("ds-social");
+        let ds_deps = deps_for("scenario_matrix", &ds_params);
+        let ds_key = case_key("scenario_matrix", &ds_params, 3);
+        cache.store(&cycle_key, &cycle_deps, &cycle_case).unwrap();
+        cache
+            .store(
+                &ds_key,
+                &ds_deps,
+                &Case::new(ds_params, cycle_case.measurements.clone()),
+            )
+            .unwrap();
+        assert!(matches!(cache.lookup(&ds_key, &ds_deps), Lookup::Hit(_)));
+
+        // Plant the edit: one more edge in the dataset file.
+        std::fs::write(ds_dir.join("sample-social.txt"), "0 1\n1 2\n2 3\n").unwrap();
+        let cache =
+            CellCache::open_with(&store_dir, SourceDigests::compute_at(&root).unwrap()).unwrap();
+        assert!(
+            matches!(cache.lookup(&cycle_key, &cycle_deps), Lookup::Hit(_)),
+            "synthetic cell does not read the dataset — must stay warm"
+        );
+        assert!(
+            matches!(cache.lookup(&ds_key, &ds_deps), Lookup::Invalidated),
+            "dataset-backed cell must invalidate on a dataset edit"
+        );
+        assert_ne!(
+            combined_before,
+            cache.digests().combined(),
+            "the combined fingerprint must move on a dataset edit"
+        );
     }
 
     #[test]

@@ -100,6 +100,9 @@ Options:
   --serve <SOCKET>       Serve cache queries (ping/fingerprint/stats/cell)
                          on a unix socket until a client sends quit
   --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
+  --dataset-dir <DIR>    Where the ds-* families load their dataset files
+                         from (default: the vendored datasets/ directory);
+                         cells are keyed on the files' content digests
   --threads <N>          Worker threads for seed sweeps (default: all cores)
   -h, --help             Show this help
 ";
@@ -161,6 +164,12 @@ fn parse_args() -> Result<Args, String> {
             "--print-fingerprint" => args.print_fingerprint = true,
             "--serve" => args.serve = Some(PathBuf::from(value("--serve")?)),
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--dataset-dir" => {
+                // The graphs crate and the cache digests both resolve
+                // dataset files through this env var, so one flag moves
+                // the loaders and the staleness keys together.
+                std::env::set_var("EBC_DATASET_DIR", value("--dataset-dir")?);
+            }
             "--threads" => {
                 let v = value("--threads")?;
                 let n = v

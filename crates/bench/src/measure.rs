@@ -479,7 +479,7 @@ impl CaseRunner {
         };
         let key = cache::case_key(self.experiment, &params, seeds);
         let deps = cache::deps_for(self.experiment, &params);
-        match cache.lookup(&key, deps) {
+        match cache.lookup(&key, &deps) {
             Lookup::Hit(case) => {
                 self.stats.hits += 1;
                 return case;
@@ -488,7 +488,7 @@ impl CaseRunner {
             Lookup::Invalidated => self.stats.invalidated += 1,
         }
         let case = Case::new(params, execute(seeds));
-        if let Err(err) = cache.store(&key, deps, &case) {
+        if let Err(err) = cache.store(&key, &deps, &case) {
             eprintln!("warning: cell cache store failed: {err}");
         }
         case

@@ -6,7 +6,7 @@
 
 use ebc_radio::Graph;
 
-use crate::{deterministic, random};
+use crate::{datasets, deterministic, random};
 
 /// A named graph family, scalable in `n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,23 @@ pub enum Family {
     /// `deterministic::barbell` — two n/3 cliques joined by an n/3 path;
     /// maximal contention at both ends of a long thin channel.
     Barbell,
+    /// `datasets::social_instance` — a BFS ball of the vendored
+    /// power-law social sample, rooted at its highest-degree hub. Real
+    /// hub structure no synthetic family reproduces.
+    DsSocial,
+    /// `datasets::roadnet_instance` — a BFS ball of the vendored
+    /// near-planar road/sensor mesh.
+    DsRoadnet,
+    /// `datasets::unit_disk_instance` — a unit-disk graph over real
+    /// coordinates subsampled from the road dataset (expected degree ≈ 8).
+    DsUnitDisk,
+    /// `datasets::knn_instance` — a symmetric 6-nearest-neighbor sensor
+    /// field over the same real coordinates.
+    DsKnn,
+    /// `datasets::chung_lu_instance` — a Chung-Lu graph matched to the
+    /// social sample's observed degree sequence; power-law fan-out at any
+    /// `n`.
+    DsChungLu,
 }
 
 /// A generated instance plus its metadata.
@@ -73,11 +90,16 @@ impl Family {
             Family::Hypercube => "hypercube",
             Family::UnitDisk => "unit-disk",
             Family::Barbell => "barbell",
+            Family::DsSocial => "ds-social",
+            Family::DsRoadnet => "ds-roadnet",
+            Family::DsUnitDisk => "ds-unit-disk",
+            Family::DsKnn => "ds-knn",
+            Family::DsChungLu => "ds-chung-lu",
         }
     }
 
     /// Every family, in declaration order.
-    pub const ALL: [Family; 14] = [
+    pub const ALL: [Family; 19] = [
         Family::Path,
         Family::Cycle,
         Family::Ladder,
@@ -92,7 +114,19 @@ impl Family {
         Family::Hypercube,
         Family::UnitDisk,
         Family::Barbell,
+        Family::DsSocial,
+        Family::DsRoadnet,
+        Family::DsUnitDisk,
+        Family::DsKnn,
+        Family::DsChungLu,
     ];
+
+    /// Whether this family is derived from an on-disk dataset (so its
+    /// bench cells must be keyed on the dataset files' content digests —
+    /// see `datasets::family_files`).
+    pub fn is_dataset(self) -> bool {
+        !crate::datasets::family_files(self.name()).is_empty()
+    }
 
     /// Looks up a family by its display name.
     pub fn by_name(name: &str) -> Option<Family> {
@@ -104,7 +138,9 @@ impl Family {
     /// # Panics
     ///
     /// Panics if `n` is too small for the family (all families accept
-    /// `n ≥ 8`).
+    /// `n ≥ 8`), or — for the dataset-derived `ds-*` families — if the
+    /// vendored dataset files cannot be loaded (run from the repo, or
+    /// point `EBC_DATASET_DIR` at them).
     pub fn instance(self, n: usize, seed: u64) -> Instance {
         assert!(n >= 8, "families are defined for n >= 8");
         let (graph, diameter) = match self {
@@ -155,6 +191,11 @@ impl Family {
                 let bridge = n.saturating_sub(2 * k);
                 (deterministic::barbell(k, bridge), Some(bridge as u32 + 3))
             }
+            Family::DsSocial => (datasets::social_instance(n), None),
+            Family::DsRoadnet => (datasets::roadnet_instance(n), None),
+            Family::DsUnitDisk => (datasets::unit_disk_instance(n, seed), None),
+            Family::DsKnn => (datasets::knn_instance(n, seed), None),
+            Family::DsChungLu => (datasets::chung_lu_instance(n, seed), None),
         };
         Instance {
             name: self.name(),
@@ -249,6 +290,35 @@ mod tests {
             let got = Family::BinaryTree.instance(n, 0).graph.n();
             assert!(got >= n, "instance({n}) has only {got} vertices");
             assert!(got <= 2 * n, "instance({n}) overshot to {got}");
+        }
+    }
+
+    #[test]
+    fn dataset_families_are_in_all_and_flagged() {
+        // The size-contract, connectivity, and diameter tests above all
+        // iterate Family::ALL, so the ds-* families are covered by the
+        // same n ≥ 8 contract as the synthetic ones; this pins that they
+        // actually are in ALL (and only they carry dataset backing).
+        let ds: Vec<&str> = Family::ALL
+            .iter()
+            .filter(|f| f.is_dataset())
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(
+            ds,
+            ["ds-social", "ds-roadnet", "ds-unit-disk", "ds-knn", "ds-chung-lu"]
+        );
+        for fam in Family::ALL {
+            assert_eq!(fam.is_dataset(), fam.name().starts_with("ds-"));
+        }
+    }
+
+    #[test]
+    fn dataset_families_are_reproducible() {
+        for fam in Family::ALL.iter().filter(|f| f.is_dataset()) {
+            let a = fam.instance(32, 9);
+            let b = fam.instance(32, 9);
+            assert_eq!(a.graph, b.graph, "{} not deterministic", fam.name());
         }
     }
 

@@ -2,8 +2,10 @@
 //!
 //! Every generator returns a *connected* [`Graph`] (the paper's model
 //! assumes connectivity). Deterministic families live in [`deterministic`],
-//! randomized ones in [`random`], and [`families`] wraps both into named,
-//! parameterized families with known diameters for the benchmark harness.
+//! randomized ones in [`random`], real-graph ingestion (dataset parsers,
+//! the binary CSR cache, and topologies derived from observed data) in
+//! [`datasets`], and [`families`] wraps them all into named, parameterized
+//! families with known diameters for the benchmark harness.
 //!
 //! # Example
 //!
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datasets;
 pub mod deterministic;
 pub mod families;
 pub mod random;

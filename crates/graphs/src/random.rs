@@ -149,17 +149,7 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
     let pts: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
         .collect();
-    let r2 = radius * radius;
-    let mut edges = Vec::new();
-    for u in 0..n {
-        for v in u + 1..n {
-            let dx = pts[u].0 - pts[v].0;
-            let dy = pts[u].1 - pts[v].1;
-            if dx * dx + dy * dy <= r2 {
-                edges.push((u, v));
-            }
-        }
-    }
+    let mut edges = disk_edges(&pts, radius);
     let tree = random_tree(n, seed ^ 0xd15c_0000_0000_0001);
     for u in 0..n {
         for v in tree.neighbors(u) {
@@ -169,6 +159,53 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
         }
     }
     Graph::from_edges(n, &edges).expect("valid unit-disk graph")
+}
+
+/// All point pairs within `radius`, as `(lo, hi)` index pairs. Grid-bucket
+/// neighbor lookup (cell size = `radius`, 3×3 neighborhood scan), so cost
+/// is `O(n · deg)` instead of the all-pairs `O(n²)` — the difference
+/// between seconds and hours on million-point coordinate datasets. The
+/// edge *set* is exactly the all-pairs one, so graphs built from it are
+/// bit-identical to the old construction ([`Graph::from_edges`] sorts).
+///
+/// # Panics
+///
+/// Panics if `radius` is not positive or a coordinate is non-finite.
+pub(crate) fn disk_edges(pts: &[(f64, f64)], radius: f64) -> Vec<(usize, usize)> {
+    assert!(radius > 0.0, "radius must be positive");
+    for &(x, y) in pts {
+        assert!(x.is_finite() && y.is_finite(), "non-finite coordinate");
+    }
+    let r2 = radius * radius;
+    let key = |x: f64, y: f64| ((x / radius).floor() as i64, (y / radius).floor() as i64);
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> = std::collections::HashMap::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets.entry(key(x, y)).or_default().push(i as u32);
+    }
+    let mut edges = Vec::new();
+    for (u, &(ux, uy)) in pts.iter().enumerate() {
+        let (cx, cy) = key(ux, uy);
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                let Some(cands) = buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &v in cands {
+                    let v = v as usize;
+                    if v <= u {
+                        continue;
+                    }
+                    let (vx, vy) = pts[v];
+                    let ddx = ux - vx;
+                    let ddy = uy - vy;
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+    edges
 }
 
 /// Internal: distinct derivation streams for the generators in this module.
@@ -245,6 +282,42 @@ mod tests {
         // roughly the backbone tree.
         assert!(unit_disk(60, 0.8, 1).m() > 300);
         assert!(unit_disk(60, 1e-6, 1).m() < 80);
+    }
+
+    #[test]
+    fn disk_edges_matches_the_all_pairs_scan() {
+        // Differential pin: the grid-bucket lookup must reproduce the old
+        // O(n²) construction's edge set exactly, across radii spanning
+        // sub-cell to whole-square and clustered/degenerate layouts.
+        let mut rng = node_rng(99, 0, 0xd1ff);
+        for case in 0..12 {
+            let n = 5 + case * 7;
+            let mut pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                .collect();
+            if case % 3 == 0 {
+                // Coincident points and tight clusters stress the buckets.
+                pts[0] = pts[n - 1];
+                pts[1] = (pts[0].0 + 1e-12, pts[0].1);
+            }
+            for radius in [1e-6, 0.07, 0.3, 0.9, 2.0] {
+                let r2 = radius * radius;
+                let mut naive = Vec::new();
+                for u in 0..n {
+                    for v in u + 1..n {
+                        let dx = pts[u].0 - pts[v].0;
+                        let dy = pts[u].1 - pts[v].1;
+                        if dx * dx + dy * dy <= r2 {
+                            naive.push((u, v));
+                        }
+                    }
+                }
+                let mut fast = disk_edges(&pts, radius);
+                fast.sort_unstable();
+                naive.sort_unstable();
+                assert_eq!(fast, naive, "n = {n}, radius = {radius}");
+            }
+        }
     }
 
     #[test]
