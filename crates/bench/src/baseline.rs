@@ -998,6 +998,7 @@ mod tests {
             cases: result.cases.clone(),
             extra: Vec::new(),
             cache: None,
+            profile: Default::default(),
         };
         let from_cells = baseline_doc(&stripped);
         assert_eq!(from_json.get("fits"), from_cells.get("fits"));

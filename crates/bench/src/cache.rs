@@ -814,7 +814,10 @@ mod tests {
         ];
         let deps = deps_for("scenario_matrix", &ds);
         assert_eq!(&deps[..NO_SINGLEHOP_DEPS.len()], NO_SINGLEHOP_DEPS);
-        assert_eq!(&deps[NO_SINGLEHOP_DEPS.len()..], ["dataset:sample-social.txt"]);
+        assert_eq!(
+            &deps[NO_SINGLEHOP_DEPS.len()..],
+            ["dataset:sample-social.txt"]
+        );
         let ds_t11 = vec![
             ("algorithm", Json::from("theorem11")),
             ("family", Json::from("ds-unit-disk")),

@@ -27,7 +27,7 @@ use ebc_radio::{Model, Sim};
 
 use crate::cache::CacheStats;
 use crate::json::Json;
-use crate::measure::{Case, CaseRunner, RunConfig};
+use crate::measure::{Case, CaseRunner, RunConfig, RunnerProfile};
 
 /// A named experiment: metadata plus its runner.
 pub struct ExperimentSpec {
@@ -229,6 +229,11 @@ pub struct ExperimentResult {
     /// Cell-cache accounting for this run — `Some` iff a cache was
     /// configured ([`RunConfig::cache_dir`]).
     pub cache: Option<CacheStats>,
+    /// Wall-clock breakdown per cell (build / sim / cache, plus analysis),
+    /// aggregated across experiments into `BENCH_profile.json`. Kept out
+    /// of the main result document: wall-clock is machine noise, and the
+    /// baselines diff that document.
+    pub profile: RunnerProfile,
 }
 
 /// The JSON schema version stamped into every emitted file. Bump on any
@@ -277,6 +282,7 @@ pub fn run_experiment(spec: &'static ExperimentSpec, config: &RunConfig) -> Expe
         cases: output.cases,
         extra: output.extra,
         cache: runner.finish(),
+        profile: runner.profile,
     }
 }
 

@@ -6,7 +6,9 @@
 //! * [`measure`] — [`measure::Measurement`] / [`measure::Summary`] and the
 //!   rayon-parallel seed sweeps ([`measure::sweep_seeds`],
 //!   [`measure::sweep_broadcast`]), plus the [`measure::CaseRunner`]
-//!   executor routing every cell through the cache.
+//!   executor routing every cell through the cache and splitting each
+//!   cell's wall-clock into build / sim / analysis / cache time
+//!   ([`measure::RunnerProfile`], emitted as `BENCH_profile.json`).
 //! * [`cache`] — the content-addressed cell cache: on-disk results keyed
 //!   on `(cell-config hash, per-crate source digests)`, making
 //!   `--check-against` / `--update-baselines` incremental (warm cells
@@ -33,8 +35,8 @@
 //!   serialize through (schema-stable field order), with a parser for
 //!   reading baselines back.
 //! * [`report`] — aligned human-readable tables of the same results.
-//! * [`serve`] (unix) — the `--serve` loop answering fingerprint and
-//!   warm-cell queries over a unix socket.
+//! * [`serve`] (unix) — the `--serve` loop answering fingerprint,
+//!   warm-cell, profile, and telemetry-trace queries over a unix socket.
 //!
 //! The CLI (`cargo run -p ebc-bench -- --list`) and the `cargo bench`
 //! targets under `benches/` are thin wrappers over [`run_to_files`].
@@ -107,6 +109,7 @@ pub fn report_and_write(
     out_dir: &Path,
 ) -> std::io::Result<Vec<PathBuf>> {
     print!("{}", report::render(result));
+    print!("{}", report::render_profile(result));
     println!(
         "[{} cases in {:.2}s across {} threads]",
         result.cases.len(),

@@ -38,7 +38,7 @@ use std::process::ExitCode;
 use ebc_bench::baseline::{self, GateOutcome, Tolerances};
 use ebc_bench::cache::{CacheStats, SourceDigests};
 use ebc_bench::json::Json;
-use ebc_bench::measure::UNLIMITED_BUDGET_MS;
+use ebc_bench::measure::{RunnerProfile, UNLIMITED_BUDGET_MS};
 use ebc_bench::{
     find_experiment, report_and_write, run_experiment, ExperimentSpec, RunConfig, EXPERIMENTS,
 };
@@ -84,6 +84,10 @@ Options:
   --budget-ms <N>        Scenario matrix: wall-clock budget per (algorithm,
                          family, model) cell before its n-sweep truncates
                          (0 = first size only; default 250 quick / 2000 full)
+  --trace-out <PATH>     Scenario matrix: re-run the first compatible cell
+                         with telemetry on and write its Chrome trace-event
+                         JSON to PATH (plus a .jsonl sibling); load it at
+                         https://ui.perfetto.dev or chrome://tracing
   --check-against <DIR>  Regression gate: run every selected experiment
                          (default: all) and diff summary means, gate
                          scalars, and scaling-exponent CIs against
@@ -97,8 +101,10 @@ Options:
   --no-cache             Disable the cell cache (every cell re-executes)
   --print-fingerprint    Print the combined code-version fingerprint (the
                          hash CI keys the cache restore on) and exit
-  --serve <SOCKET>       Serve cache queries (ping/fingerprint/stats/cell)
-                         on a unix socket until a client sends quit
+  --serve <SOCKET>       Serve cache queries (ping/fingerprint/stats/cell/
+                         profile/telemetry) on a unix socket until a
+                         client sends quit; profile and telemetry read the
+                         documents under --out-dir
   --out-dir <DIR>        Directory for BENCH_<name>.json files (default .)
   --dataset-dir <DIR>    Where the ds-* families load their dataset files
                          from (default: the vendored datasets/ directory);
@@ -155,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("invalid --budget-ms {v:?}"))?,
                 );
             }
+            "--trace-out" => args.config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--check-against" => {
                 args.check_against = Some(PathBuf::from(value("--check-against")?))
             }
@@ -232,6 +239,54 @@ fn write_cache_stats(
     Ok(path)
 }
 
+/// Writes `BENCH_profile.json`: every experiment's per-cell wall-clock
+/// breakdown (graph build / sim / cache) plus analysis time, with grand
+/// totals across the run. Kept separate from the `BENCH_<name>.json`
+/// result documents so wall-clock noise never churns the baselines; the
+/// per-experiment totals match the `profile:` line in the report tables.
+fn write_profile(
+    out_dir: &std::path::Path,
+    per_experiment: &[(&'static str, RunnerProfile)],
+) -> std::io::Result<PathBuf> {
+    use std::time::Duration;
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut rows = Vec::new();
+    let (mut build, mut sim, mut analysis, mut cache) = (
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+    );
+    for (name, profile) in per_experiment {
+        let (b, s, c) = profile.totals();
+        build += b;
+        sim += s;
+        cache += c;
+        analysis += profile.analysis;
+        rows.push(
+            Json::obj()
+                .field("experiment", *name)
+                .field("profile", profile.to_json()),
+        );
+    }
+    let grand = build + sim + analysis + cache;
+    let doc = Json::obj()
+        .field("profile_schema", 1u64)
+        .field("experiments", Json::Arr(rows))
+        .field(
+            "totals",
+            Json::obj()
+                .field("build_ms", ms(build))
+                .field("sim_ms", ms(sim))
+                .field("analysis_ms", ms(analysis))
+                .field("cache_ms", ms(cache))
+                .field("total_ms", ms(grand)),
+        );
+    let path = out_dir.join("BENCH_profile.json");
+    std::fs::write(&path, doc.to_string_pretty())?;
+    Ok(path)
+}
+
 fn main() -> ExitCode {
     let mut args = match parse_args() {
         Ok(a) => a,
@@ -256,7 +311,7 @@ fn main() -> ExitCode {
 
     if let Some(socket) = &args.serve {
         #[cfg(unix)]
-        return match ebc_bench::serve::serve(socket, &args.cache_dir) {
+        return match ebc_bench::serve::serve(socket, &args.cache_dir, &args.out_dir) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -345,6 +400,7 @@ fn main() -> ExitCode {
     // run (budget pinned so the case set is machine-independent).
     let mut outcomes: Vec<GateOutcome> = Vec::new();
     let mut cache_rows: Vec<(&'static str, CacheStats)> = Vec::new();
+    let mut profile_rows: Vec<(&'static str, RunnerProfile)> = Vec::new();
     for spec in selected {
         let started = std::time::Instant::now();
         let result = if args.check_against.is_some() {
@@ -366,6 +422,7 @@ fn main() -> ExitCode {
         if let Some(stats) = result.cache {
             cache_rows.push((spec.name, stats));
         }
+        profile_rows.push((spec.name, result.profile.clone()));
         if let Some(dir) = &args.check_against {
             outcomes.push(GateOutcome {
                 experiment: spec.name,
@@ -380,6 +437,16 @@ fn main() -> ExitCode {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: writing cache stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !profile_rows.is_empty() {
+        match write_profile(&args.out_dir, &profile_rows) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing profile: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -10,6 +10,7 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ebc_radio::{Graph, Model, Sim};
 use rayon::prelude::*;
@@ -47,6 +48,11 @@ pub struct RunConfig {
     /// `.ebc-cache` unless `--no-cache` is given; library callers and
     /// tests default to disabled.
     pub cache_dir: Option<PathBuf>,
+    /// Where to write one cell's full telemetry (`--trace-out`): a Chrome
+    /// trace-event JSON at this path plus a compact JSONL sibling. The
+    /// traced cell is the first scenario-matrix cell passing the axis
+    /// filters; `None` disables the diagnostic run.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -375,6 +381,107 @@ pub fn standard_metrics(r: &ebc_radio::EnergyReport) -> Vec<(&'static str, f64)>
     ]
 }
 
+/// Wall-clock breakdown of one cell the runner served.
+#[derive(Debug, Clone)]
+pub struct CellProfile {
+    /// The cell's parameter point rendered as `k=v` pairs.
+    pub label: String,
+    /// Graph (or other input) construction attributed to this cell via
+    /// [`CaseRunner::note_build`]. Shared builds land on the first cell
+    /// that consumes them.
+    pub build: Duration,
+    /// Sweep execution — zero when the cell was served from the cache.
+    pub sim: Duration,
+    /// Cache lookup plus store.
+    pub cache: Duration,
+    /// Whether the cell was a cache hit.
+    pub cached: bool,
+}
+
+/// Aggregate wall-clock profile of one runner (one experiment run).
+#[derive(Debug, Clone, Default)]
+pub struct RunnerProfile {
+    /// Per-cell breakdowns, in execution order.
+    pub cells: Vec<CellProfile>,
+    /// Post-sweep analysis time (scaling fits, verdicts) attributed via
+    /// [`CaseRunner::note_analysis`].
+    pub analysis: Duration,
+    /// Build time recorded but not yet consumed by a cell.
+    pending_build: Duration,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn label_of(params: &[(&'static str, Json)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (k, v) in params {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(k);
+        s.push('=');
+        match v {
+            Json::Str(x) => s.push_str(x),
+            Json::Int(i) => {
+                let _ = write!(s, "{i}");
+            }
+            Json::Num(x) => {
+                let _ = write!(s, "{x}");
+            }
+            Json::Bool(b) => {
+                let _ = write!(s, "{b}");
+            }
+            _ => s.push('?'),
+        }
+    }
+    s
+}
+
+impl RunnerProfile {
+    /// Totals over the per-cell breakdowns, as `(build, sim, cache)`.
+    pub fn totals(&self) -> (Duration, Duration, Duration) {
+        let mut b = Duration::ZERO;
+        let mut s = Duration::ZERO;
+        let mut c = Duration::ZERO;
+        for cell in &self.cells {
+            b += cell.build;
+            s += cell.sim;
+            c += cell.cache;
+        }
+        (b, s, c)
+    }
+
+    /// Serializes the profile: totals (in milliseconds) plus the per-cell
+    /// table, the shape `BENCH_profile.json` aggregates per experiment.
+    pub fn to_json(&self) -> Json {
+        let (b, s, c) = self.totals();
+        let totals = Json::obj()
+            .field("build_ms", ms(b))
+            .field("sim_ms", ms(s))
+            .field("analysis_ms", ms(self.analysis))
+            .field("cache_ms", ms(c))
+            .field("total_ms", ms(b + s + c + self.analysis));
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                Json::obj()
+                    .field("cell", cell.label.as_str())
+                    .field("build_ms", ms(cell.build))
+                    .field("sim_ms", ms(cell.sim))
+                    .field("cache_ms", ms(cell.cache))
+                    .field("cached", cell.cached)
+            })
+            .collect();
+        Json::obj()
+            .field("totals", totals)
+            .field("cells", Json::Arr(cells))
+    }
+}
+
 /// Executes experiment cells through the content-addressed cache.
 ///
 /// One runner per experiment run. Every case an experiment produces goes
@@ -384,11 +491,18 @@ pub fn standard_metrics(r: &ebc_radio::EnergyReport) -> Vec<(&'static str, f64)>
 /// through the rayon pool exactly as before and are written back to the
 /// store atomically. With no cache configured the runner degrades to a
 /// plain pass-through around [`sweep_seeds`]/[`sweep_broadcast`].
+///
+/// The runner also keeps a [`RunnerProfile`]: every cell's wall-clock is
+/// split into graph build (attributed via [`CaseRunner::note_build`]),
+/// sweep execution, and cache lookup/store, with post-sweep analysis time
+/// recorded via [`CaseRunner::note_analysis`].
 pub struct CaseRunner {
     experiment: &'static str,
     cache: Option<CellCache>,
     /// Hit/miss/invalidation tally over this runner's cells.
     pub stats: CacheStats,
+    /// Wall-clock breakdown over this runner's cells.
+    pub profile: RunnerProfile,
 }
 
 impl CaseRunner {
@@ -410,6 +524,7 @@ impl CaseRunner {
             experiment,
             cache,
             stats: CacheStats::default(),
+            profile: RunnerProfile::default(),
         }
     }
 
@@ -420,6 +535,7 @@ impl CaseRunner {
             experiment,
             cache: None,
             stats: CacheStats::default(),
+            profile: RunnerProfile::default(),
         }
     }
 
@@ -429,12 +545,25 @@ impl CaseRunner {
             experiment,
             cache: Some(cache),
             stats: CacheStats::default(),
+            profile: RunnerProfile::default(),
         }
     }
 
     /// Whether a store is attached.
     pub fn caching(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Records input-construction time (graph builds, dataset loads) to be
+    /// attributed to the next cell this runner serves. Shared builds land
+    /// on the first consuming cell rather than being double-counted.
+    pub fn note_build(&mut self, spent: Duration) {
+        self.profile.pending_build += spent;
+    }
+
+    /// Records post-sweep analysis time (scaling fits, gate verdicts).
+    pub fn note_analysis(&mut self, spent: Duration) {
+        self.profile.analysis += spent;
     }
 
     /// The stats to publish: `Some` iff a store was attached (a
@@ -473,24 +602,56 @@ impl CaseRunner {
     where
         E: FnOnce(u64) -> Vec<Measurement>,
     {
+        let label = label_of(&params);
+        let build = std::mem::take(&mut self.profile.pending_build);
         let Some(cache) = &self.cache else {
             self.stats.misses += 1;
-            return Case::new(params, execute(seeds));
+            let t_exec = Instant::now();
+            let case = Case::new(params, execute(seeds));
+            self.profile.cells.push(CellProfile {
+                label,
+                build,
+                sim: t_exec.elapsed(),
+                cache: Duration::ZERO,
+                cached: false,
+            });
+            return case;
         };
         let key = cache::case_key(self.experiment, &params, seeds);
         let deps = cache::deps_for(self.experiment, &params);
-        match cache.lookup(&key, &deps) {
+        let t_cache = Instant::now();
+        let looked_up = cache.lookup(&key, &deps);
+        let mut cache_spent = t_cache.elapsed();
+        match looked_up {
             Lookup::Hit(case) => {
                 self.stats.hits += 1;
+                self.profile.cells.push(CellProfile {
+                    label,
+                    build,
+                    sim: Duration::ZERO,
+                    cache: cache_spent,
+                    cached: true,
+                });
                 return case;
             }
             Lookup::Miss => self.stats.misses += 1,
             Lookup::Invalidated => self.stats.invalidated += 1,
         }
+        let t_exec = Instant::now();
         let case = Case::new(params, execute(seeds));
+        let sim_spent = t_exec.elapsed();
+        let t_store = Instant::now();
         if let Err(err) = cache.store(&key, &deps, &case) {
             eprintln!("warning: cell cache store failed: {err}");
         }
+        cache_spent += t_store.elapsed();
+        self.profile.cells.push(CellProfile {
+            label,
+            build,
+            sim: sim_spent,
+            cache: cache_spent,
+            cached: false,
+        });
         case
     }
 }
@@ -498,6 +659,47 @@ impl CaseRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_attributes_build_sim_and_analysis_per_cell() {
+        let mut runner = CaseRunner::disabled("profile_test");
+        // Build time recorded before a cell lands on that cell; the next
+        // cell, with no build of its own, shows zero.
+        runner.note_build(Duration::from_millis(7));
+        runner.run_case(vec![("n", 16usize.into())], 1, |seed| {
+            vec![("x", seed as f64)]
+        });
+        runner.run_case(vec![("n", 32usize.into())], 1, |seed| {
+            vec![("x", seed as f64)]
+        });
+        runner.note_analysis(Duration::from_millis(3));
+
+        let cells = &runner.profile.cells;
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].label, "n=16");
+        assert_eq!(cells[0].build, Duration::from_millis(7));
+        assert_eq!(cells[1].build, Duration::ZERO);
+        assert!(!cells[0].cached && !cells[1].cached);
+        // No cache attached: lookup/store time is structurally zero.
+        assert_eq!(cells[0].cache, Duration::ZERO);
+        assert_eq!(runner.profile.analysis, Duration::from_millis(3));
+
+        let (build, _sim, cache) = runner.profile.totals();
+        assert_eq!(build, Duration::from_millis(7));
+        assert_eq!(cache, Duration::ZERO);
+
+        // The serialized totals carry all four components plus the sum.
+        let json = runner.profile.to_json();
+        let totals = json.get("totals").unwrap();
+        assert_eq!(
+            totals.get("build_ms").and_then(Json::as_f64),
+            Some(7.0),
+            "{json:?}"
+        );
+        assert_eq!(totals.get("analysis_ms").and_then(Json::as_f64), Some(3.0));
+        assert!(totals.get("total_ms").and_then(Json::as_f64).unwrap() >= 10.0);
+        assert_eq!(json.get("cells").and_then(Json::as_arr).unwrap().len(), 2);
+    }
 
     #[test]
     fn stats_aggregate_correctly() {

@@ -150,6 +150,30 @@ pub fn render(result: &ExperimentResult) -> String {
     out
 }
 
+/// One line breaking the run's wall-clock into graph build / sim /
+/// analysis / cache time — the same totals `BENCH_profile.json` records
+/// for this experiment. Kept out of [`render`] because wall-clock varies
+/// between reruns while the rendered table must not; empty when the run
+/// profiled no cells.
+pub fn render_profile(result: &ExperimentResult) -> String {
+    if result.profile.cells.is_empty() {
+        return String::new();
+    }
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let (build, sim, cache) = result.profile.totals();
+    let analysis = result.profile.analysis;
+    format!(
+        "profile: {} cells — build {:.1}ms, sim {:.1}ms, analysis {:.1}ms, \
+         cache {:.1}ms (total {:.1}ms)\n",
+        result.profile.cells.len(),
+        ms(build),
+        ms(sim),
+        ms(analysis),
+        ms(cache),
+        ms(build + sim + analysis + cache)
+    )
+}
+
 /// One line summarizing the scaling fits: how the cells' `energy_max`
 /// growth classifies, plus the truncation count.
 fn render_fits_summary(fits: &Json) -> String {
@@ -225,6 +249,12 @@ mod tests {
         assert!(text.contains("shape:"), "{text}");
         // Every metric gets its bootstrap-CI-width companion column.
         assert!(text.contains("energy_max (ci95w)"), "{text}");
+        // The wall-clock breakdown is rendered separately (it varies
+        // between reruns, so it must stay out of the stable table).
+        let profile = render_profile(&result);
+        assert!(profile.starts_with("profile:"), "{profile}");
+        assert!(profile.contains("sim "), "{profile}");
+        assert!(!text.contains("profile:"), "{text}");
     }
 
     #[test]

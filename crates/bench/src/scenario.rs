@@ -237,10 +237,18 @@ pub fn run_scenario_matrix(config: &RunConfig, runner: &mut CaseRunner) -> Exper
         truncated_cells += usize::from(truncated);
     }
 
+    // The --trace-out diagnostic: re-run the first compatible cell with
+    // telemetry enabled, outside the runner and cache, and dump its trace.
+    if config.trace_out.is_some() {
+        trace_first_cell(config, &queue, sizes);
+    }
+
     // Scaling fits read only the clean cells — `scaling_fits` drops
     // faulted cases itself, so the fits section is invariant under the
     // fault axis (and under `--fault` filters that exclude "none").
+    let t_fit = Instant::now();
     let fits = analysis::scaling_fits(&cases, config.resamples());
+    runner.note_analysis(t_fit.elapsed());
     let count = |kind: &str| -> usize {
         skips
             .iter()
@@ -377,9 +385,17 @@ fn run_cell(
             tally(skips, "budget", alg.name(), cell_axis.clone());
             continue;
         }
-        let graph = graphs
-            .entry(n)
-            .or_insert_with(|| Arc::new(family.instance(n, 0xebc0 + n as u64).graph));
+        let graph = match graphs.entry(n) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                // Graph construction is profiled separately from the sweep;
+                // the shared build lands on the first consuming cell.
+                let t_build = Instant::now();
+                let g = Arc::new(family.instance(n, 0xebc0 + n as u64).graph);
+                runner.note_build(t_build.elapsed());
+                e.insert(g)
+            }
+        };
         if !alg.supports_graph(graph) {
             tally(skips, "graph", alg.name(), family.name());
             continue;
@@ -463,6 +479,71 @@ fn run_cell(
     }
     cases.append(&mut cell_cases);
     cut
+}
+
+/// The `--trace-out` diagnostic: runs the first cell of `queue` that is
+/// compatible at the smallest matrix size, with full telemetry attached,
+/// and writes its Chrome trace-event JSON to [`RunConfig::trace_out`]
+/// plus a compact JSONL sibling (same path, `.jsonl` extension).
+///
+/// The run happens outside the [`CaseRunner`] and the cell cache: it is a
+/// diagnostic twin of the cell's first seed, not a measurement — the
+/// matrix's cases, budget accounting, and cache stats are unaffected. On
+/// the faulted axes the cell's fault plan is applied, so the trace shows
+/// lost/jammed/crashed slot events next to the phase spans.
+fn trace_first_cell(config: &RunConfig, queue: &[CellJob], sizes: &[usize]) {
+    let Some(out_path) = &config.trace_out else {
+        return;
+    };
+    let n = sizes[0];
+    for job in queue {
+        let CellJob {
+            family,
+            fault,
+            model,
+            alg,
+        } = *job;
+        if !alg.supports_model(model) {
+            continue;
+        }
+        if fault != "none" && !alg.fault_tolerant() {
+            continue;
+        }
+        let graph = family.instance(n, 0xebc0 + n as u64).graph;
+        if !alg.supports_graph(&graph) {
+            continue;
+        }
+        let seed = crate::measure::master_seed(0);
+        let plan = matrix_fault_plan(fault, graph.n());
+        let mut sim = Sim::with_faults(graph, model, seed, plan);
+        sim.enable_telemetry();
+        alg.run(&mut sim, 0);
+        let tel = sim.take_telemetry().expect("telemetry enabled");
+        println!(
+            "traced cell: {} on {} under {} (fault {fault}, n {}, seed {seed}) — \
+             {} events, {} spans, {} counter rows",
+            alg.name(),
+            family.name(),
+            model_name(model),
+            sim.graph().n(),
+            tel.event_count(),
+            tel.spans().len(),
+            tel.counters().count(),
+        );
+        if let Err(e) = std::fs::write(out_path, tel.chrome_trace()) {
+            eprintln!("warning: writing {}: {e}", out_path.display());
+            return;
+        }
+        println!("wrote {}", out_path.display());
+        let jsonl = out_path.with_extension("jsonl");
+        if let Err(e) = std::fs::write(&jsonl, tel.to_jsonl()) {
+            eprintln!("warning: writing {}: {e}", jsonl.display());
+            return;
+        }
+        println!("wrote {}", jsonl.display());
+        return;
+    }
+    eprintln!("warning: --trace-out matched no compatible cell (check the axis filters)");
 }
 
 /// Axis filter: `None` admits everything; `Some` is a case-insensitive

@@ -16,6 +16,11 @@
 //!   fresh under the current sources.
 //! * `cell <key>` — the raw cache entry under a cell-config key (see
 //!   [`crate::cache::case_key`]), with a `fresh` verdict.
+//! * `profile` — the `BENCH_profile.json` the last run wrote to the data
+//!   directory: per-experiment wall-clock breakdowns plus run totals.
+//! * `telemetry [path]` — a summary of a Chrome trace file written by
+//!   `--trace-out` (default `<data-dir>/BENCH_trace.json`): event counts
+//!   by phase, the span names, and the trace's slot extent.
 //! * `quit` — close this connection and stop the server.
 //!
 //! Connections are served one at a time — the server is a debugging and
@@ -33,22 +38,24 @@ use crate::json::Json;
 pub const FRAME_END: &str = "---";
 
 /// Serves cache queries on a unix socket at `socket` from the store at
-/// `cache_dir` until a client sends `quit`. A stale socket file from a
-/// previous run is replaced.
-pub fn serve(socket: &Path, cache_dir: &Path) -> Result<(), String> {
+/// `cache_dir` until a client sends `quit`; `profile`/`telemetry` read
+/// the documents a prior run wrote to `data_dir`. A stale socket file
+/// from a previous run is replaced.
+pub fn serve(socket: &Path, cache_dir: &Path, data_dir: &Path) -> Result<(), String> {
     let cache = CellCache::open(cache_dir)?;
     // Binding fails on an existing path, and a crashed server leaves one.
     std::fs::remove_file(socket).ok();
     let listener =
         UnixListener::bind(socket).map_err(|e| format!("cannot bind {}: {e}", socket.display()))?;
     eprintln!(
-        "serving cell cache {} on {}",
+        "serving cell cache {} (data dir {}) on {}",
         cache_dir.display(),
+        data_dir.display(),
         socket.display()
     );
     for stream in listener.incoming() {
         let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
-        if handle(stream, &cache).map_err(|e| format!("connection failed: {e}"))? {
+        if handle(stream, &cache, data_dir).map_err(|e| format!("connection failed: {e}"))? {
             break;
         }
     }
@@ -58,7 +65,7 @@ pub fn serve(socket: &Path, cache_dir: &Path) -> Result<(), String> {
 
 /// Serves one connection; returns whether the client asked to stop the
 /// whole server.
-fn handle(mut stream: UnixStream, cache: &CellCache) -> std::io::Result<bool> {
+fn handle(mut stream: UnixStream, cache: &CellCache, data_dir: &Path) -> std::io::Result<bool> {
     let reader = BufReader::new(stream.try_clone()?);
     for line in reader.lines() {
         let line = line?;
@@ -66,7 +73,7 @@ fn handle(mut stream: UnixStream, cache: &CellCache) -> std::io::Result<bool> {
         if command.is_empty() {
             continue;
         }
-        let response = respond(cache, command);
+        let response = respond(cache, data_dir, command);
         stream.write_all(response.to_string_pretty().as_bytes())?;
         stream.write_all(format!("\n{FRAME_END}\n").as_bytes())?;
         if command == "quit" {
@@ -77,7 +84,7 @@ fn handle(mut stream: UnixStream, cache: &CellCache) -> std::io::Result<bool> {
 }
 
 /// The JSON answer to one command line.
-fn respond(cache: &CellCache, command: &str) -> Json {
+fn respond(cache: &CellCache, data_dir: &Path, command: &str) -> Json {
     let (verb, rest) = match command.split_once(' ') {
         Some((v, r)) => (v, r.trim()),
         None => (command, ""),
@@ -101,10 +108,80 @@ fn respond(cache: &CellCache, command: &str) -> Json {
                 .field("entry", entry),
             None => Json::obj().field("found", false),
         },
+        "profile" => match read_doc(&data_dir.join("BENCH_profile.json")) {
+            Ok(doc) => Json::obj().field("found", true).field("profile", doc),
+            Err(e) => Json::obj().field("found", false).field("error", e),
+        },
+        "telemetry" => {
+            let path = if rest.is_empty() {
+                data_dir.join("BENCH_trace.json")
+            } else {
+                std::path::PathBuf::from(rest)
+            };
+            match read_doc(&path).and_then(|doc| trace_summary(&doc)) {
+                Ok(summary) => Json::obj()
+                    .field("found", true)
+                    .field("path", path.display().to_string())
+                    .field("summary", summary),
+                Err(e) => Json::obj().field("found", false).field("error", e),
+            }
+        }
         _ => Json::obj()
             .field("error", format!("unknown command {command:?}"))
-            .field("commands", "ping | fingerprint | stats | cell <key> | quit"),
+            .field(
+                "commands",
+                "ping | fingerprint | stats | cell <key> | profile | telemetry [path] | quit",
+            ),
     }
+}
+
+/// Reads and parses one JSON document from disk.
+fn read_doc(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Summarizes a Chrome trace-event document (what `--trace-out` writes):
+/// event counts per phase (`X` spans, `C` counter samples, `i` fault
+/// instants), the distinct span names, and the last slot touched.
+fn trace_summary(doc: &Json) -> Result<Json, String> {
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("no traceEvents array (not a Chrome trace?)".into());
+    };
+    let (mut spans, mut counters, mut instants) = (0u64, 0u64, 0u64);
+    let mut names: Vec<String> = Vec::new();
+    let mut last_slot = 0f64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        if let Some(ts) = ev.get("ts").and_then(Json::as_f64) {
+            let dur = ev.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+            last_slot = last_slot.max(ts + dur);
+        }
+        match ph {
+            "X" => {
+                spans += 1;
+                if let Some(name) = ev.get("name").and_then(Json::as_str) {
+                    if !names.iter().any(|n| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+            "C" => counters += 1,
+            "i" => instants += 1,
+            _ => {}
+        }
+    }
+    Ok(Json::obj()
+        .field("events", events.len() as u64)
+        .field("spans", spans)
+        .field("counter_samples", counters)
+        .field("fault_instants", instants)
+        .field(
+            "span_names",
+            Json::Arr(names.into_iter().map(Json::Str).collect()),
+        )
+        .field("last_slot", last_slot))
 }
 
 #[cfg(test)]
@@ -154,12 +231,36 @@ mod tests {
         // CellCache::open, which would mismatch the planted tree — so
         // serve it through the same planted store by driving handle()
         // directly over a socketpair-style connection.
+        // Plant a data dir with a profile doc and a tiny Chrome trace so
+        // the read-side verbs have something to answer from.
+        let data_dir = std::env::temp_dir().join("ebc_serve_data");
+        std::fs::remove_dir_all(&data_dir).ok();
+        std::fs::create_dir_all(&data_dir).unwrap();
+        std::fs::write(
+            data_dir.join("BENCH_profile.json"),
+            Json::obj()
+                .field("profile_schema", 1u64)
+                .field("experiments", Json::Arr(vec![]))
+                .to_string_pretty(),
+        )
+        .unwrap();
+        std::fs::write(
+            data_dir.join("BENCH_trace.json"),
+            r#"{"traceEvents":[
+                {"name":"flood","ph":"X","ts":0,"dur":12,"pid":0,"tid":0},
+                {"name":"slot","ph":"C","ts":3,"pid":0,"args":{"tx":2}},
+                {"name":"lost","ph":"i","ts":5,"pid":0,"tid":1,"s":"t"}
+            ]}"#,
+        )
+        .unwrap();
+
         let socket = std::env::temp_dir().join("ebc_serve.sock");
         std::fs::remove_file(&socket).ok();
         let listener = UnixListener::bind(&socket).unwrap();
+        let server_data_dir = data_dir.clone();
         let server = std::thread::spawn(move || {
             let (stream, _) = listener.accept().unwrap();
-            handle(stream, &cache).unwrap()
+            handle(stream, &cache, &server_data_dir).unwrap()
         });
 
         let client = UnixStream::connect(&socket).unwrap();
@@ -188,10 +289,36 @@ mod tests {
         );
         let missing = send("cell nonexistent|seeds=1|");
         assert_eq!(missing.get("found"), Some(&Json::Bool(false)));
+        let profile = send("profile");
+        assert_eq!(profile.get("found"), Some(&Json::Bool(true)));
+        assert_eq!(
+            profile
+                .get("profile")
+                .and_then(|p| p.get("profile_schema"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let tel = send("telemetry");
+        assert_eq!(tel.get("found"), Some(&Json::Bool(true)));
+        let summary = tel.get("summary").unwrap();
+        assert_eq!(summary.get("events").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(summary.get("spans").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            summary.get("counter_samples").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            summary.get("fault_instants").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(summary.get("last_slot").and_then(Json::as_f64), Some(12.0));
+        let missing_trace = send("telemetry /nonexistent/trace.json");
+        assert_eq!(missing_trace.get("found"), Some(&Json::Bool(false)));
         let err = send("bogus");
         assert!(err.get("error").is_some());
         assert_eq!(send("quit").get("ok"), Some(&Json::Bool(true)));
         assert!(server.join().unwrap(), "quit must stop the server");
         std::fs::remove_file(&socket).ok();
+        std::fs::remove_dir_all(&data_dir).ok();
     }
 }

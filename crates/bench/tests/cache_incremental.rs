@@ -37,6 +37,26 @@ fn warm_rerun_executes_zero_cells_and_emits_identical_documents() {
     assert_eq!(stats.invalidated, 0);
     assert_eq!(stats.hits, warm.cases.len());
 
+    // The wall-clock profile tells the same story: every warm cell is
+    // marked cached with exactly zero sim time (nothing executed), which
+    // is what CI's warm-gate assertion on BENCH_profile.json reads.
+    assert_eq!(warm.profile.cells.len(), warm.cases.len());
+    for cell in &warm.profile.cells {
+        assert!(
+            cell.cached,
+            "warm cell {} not served from cache",
+            cell.label
+        );
+        assert_eq!(
+            cell.sim,
+            std::time::Duration::ZERO,
+            "warm cell {} spent sim time",
+            cell.label
+        );
+    }
+    let cold_sim = cold.profile.totals().1;
+    assert!(cold_sim > std::time::Duration::ZERO, "cold run simulated");
+
     // Loaded cells must be indistinguishable from executed ones: same
     // result JSON (modulo the cache counters) and same baseline doc,
     // which is what the gate diffs against.
@@ -86,5 +106,6 @@ fn clone_result(r: &ebc_bench::ExperimentResult) -> ebc_bench::ExperimentResult 
         cases: r.cases.clone(),
         extra: r.extra.clone(),
         cache: r.cache,
+        profile: r.profile.clone(),
     }
 }

@@ -64,6 +64,8 @@ pub fn flood_local(sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
         informed_at: vec![None; n],
     };
     b.informed_at[source] = Some(0);
+    let start = sim.now();
+    sim.span_enter("flood");
     sim.drive(
         Schedule::Dynamic {
             participants: &participants,
@@ -71,6 +73,19 @@ pub fn flood_local(sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
         },
         &mut b,
     );
+    sim.span_exit();
+    if sim.telemetry_enabled() {
+        // The exact informed-set curve: vertex v first holds the payload in
+        // the slot before its relay slot `informed_at[v]` (source: slot 0).
+        for t in 0..=ecc {
+            let informed = b
+                .informed_at
+                .iter()
+                .filter(|r| r.is_some_and(|r| r <= t + 1))
+                .count();
+            sim.record_gauge("informed", start + t, informed as f64);
+        }
+    }
     BroadcastOutcome {
         informed: b.informed_at.iter().map(|x| x.is_some()).collect(),
         source,
@@ -131,6 +146,8 @@ pub fn bgi_decay_broadcast(sim: &mut Sim, source: NodeId, sweeps: Option<u32>) -
         rngs: &mut rngs,
     };
     b.informed[source] = true;
+    let start = sim.now();
+    sim.span_enter("decay");
     sim.drive(
         Schedule::Dense {
             participants: &participants,
@@ -138,6 +155,16 @@ pub fn bgi_decay_broadcast(sim: &mut Sim, source: NodeId, sweeps: Option<u32>) -
         },
         &mut b,
     );
+    sim.span_exit();
+    if sim.telemetry_enabled() {
+        // Phase structure: one span per decay sweep of ⌈log Δ⌉ + 1 slots.
+        for i in 0..u64::from(sweeps) {
+            let s = start + i * sweep_len;
+            sim.span_at("sweep", s, s + sweep_len);
+        }
+        let informed = b.informed.iter().filter(|&&x| x).count();
+        sim.record_gauge("informed", sim.now(), informed as f64);
+    }
     BroadcastOutcome {
         informed: b.informed,
         source,

@@ -282,13 +282,27 @@ pub fn broadcast_with_labeling(
     };
     let mut has = vec![false; n];
     has[source] = true;
+    sim.span_enter("up_cast");
     caster.up(sim, &mut has, rngs);
+    sim.span_exit();
     for _ in 0..d_bound {
+        sim.span_enter("down_cast");
         caster.down(sim, &mut has, rngs);
+        sim.span_exit();
+        sim.span_enter("all_cast");
         caster.all(sim, &mut has, rngs);
+        sim.span_exit();
+        sim.span_enter("up_cast");
         caster.up(sim, &mut has, rngs);
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            let informed = has.iter().filter(|&&x| x).count();
+            sim.record_gauge("informed", sim.now(), informed as f64);
+        }
     }
+    sim.span_enter("down_cast");
     caster.down(sim, &mut has, rngs);
+    sim.span_exit();
     BroadcastOutcome {
         informed: has,
         source,

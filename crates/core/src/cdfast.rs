@@ -375,6 +375,7 @@ pub fn broadcast_theorem20(
         if st.cluster_count() <= 1 {
             break;
         }
+        sim.span_enter("merge_round");
         st = merge_round(
             sim,
             &st,
@@ -385,6 +386,10 @@ pub fn broadcast_theorem20(
             &mut rngs,
             0x20_0000 + u64::from(iter),
         );
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            sim.record_gauge("clusters", sim.now(), st.cluster_count() as f64);
+        }
         // Validity is a clean-channel invariant; under an active fault
         // plan merge elections can misfire and leave a degraded (but
         // bounded) state.
@@ -398,7 +403,8 @@ pub fn broadcast_theorem20(
     let sr = crate::randomized::default_sr_for(sim.model(), delta, n);
     let layer_bound = (st.labeling.max_label() + 1).max(2);
     let d_bound = (st.cluster_count() as u32).max(1).min(n as u32);
-    crate::cast::broadcast_with_labeling(
+    sim.span_enter("broadcast");
+    let out = crate::cast::broadcast_with_labeling(
         sim,
         &st.labeling,
         source,
@@ -406,7 +412,9 @@ pub fn broadcast_theorem20(
         d_bound,
         &sr,
         &mut rngs,
-    )
+    );
+    sim.span_exit();
+    out
 }
 
 /// One §7.2 merging phase: Active clusters issue requests; Wait clusters

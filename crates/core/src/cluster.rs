@@ -585,7 +585,10 @@ pub fn broadcast_theorem16(
     let mut state = if iters == 0 {
         ClusterState::trivial(n)
     } else {
-        partition_beta(sim, beta, &sr, &mut rngs)
+        sim.span_enter("partition");
+        let s = partition_beta(sim, beta, &sr, &mut rngs);
+        sim.span_exit();
+        s
     };
     // Public parameter evolution: layer bound multiplies by ~4 log n / β
     // per iteration (§6.1), capped at n (labels are path lengths); C is the
@@ -602,7 +605,9 @@ pub fn broadcast_theorem16(
                 .sub_rounds
                 .unwrap_or_else(|| IterateConfig::default_sub_rounds(c_bound, n)),
         };
+        sim.span_enter("iterate");
         state = iterate_partition(sim, &state, &icfg, &sr, &mut rngs, 0x17e4 + u64::from(k));
+        sim.span_exit();
         layer_bound = layer_bound
             .saturating_mul(4 * epoch_layers.max(1))
             .min(n as u32)
@@ -616,7 +621,8 @@ pub fn broadcast_theorem16(
     }
     let d_bound = (d_bound.ceil() as u32).max(1).min(n as u32) + 2;
     let final_layer_bound = (state.labeling.max_label() + 1).max(2).min(n as u32);
-    broadcast_with_labeling(
+    sim.span_enter("broadcast");
+    let out = broadcast_with_labeling(
         sim,
         &state.labeling,
         source,
@@ -624,7 +630,9 @@ pub fn broadcast_theorem16(
         d_bound,
         &sr,
         &mut rngs,
-    )
+    );
+    sim.span_exit();
+    out
 }
 
 #[cfg(test)]

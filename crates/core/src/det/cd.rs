@@ -353,8 +353,15 @@ pub fn broadcast_det_cd(sim: &mut Sim, source: NodeId, cfg: &DetCdConfig) -> Bro
         if st.cluster_count() == 1 {
             break;
         }
+        sim.span_enter("ruling_set");
         let ruling = ruling_set_cd(sim, &st, &ids, id_space);
+        sim.span_exit();
+        sim.span_enter("merge");
         st = merge_into_ruling(sim, &st, &ids, id_space, &ruling, &vertex_of_id);
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            sim.record_gauge("clusters", sim.now(), st.cluster_count() as f64);
+        }
         // Validity is a clean-channel invariant; under an active fault
         // plan merges can misfire and leave a degraded (but bounded)
         // state.
@@ -363,7 +370,10 @@ pub fn broadcast_det_cd(sim: &mut Sim, source: NodeId, cfg: &DetCdConfig) -> Bro
             "invalid state after merge"
         );
     }
-    det_broadcast_final(sim, &st, &ids, id_space, source)
+    sim.span_enter("broadcast");
+    let out = det_broadcast_final(sim, &st, &ids, id_space, source);
+    sim.span_exit();
+    out
 }
 
 /// The A.2 merging procedure: every non-ruling cluster is absorbed over

@@ -193,7 +193,10 @@ pub fn broadcast_det_local(
     let mut labeling = Labeling::all_zero(n);
     let iters = ceil_log2(n.max(2)) + 1;
     for _ in 0..iters {
+        sim.span_enter("ruling_set");
         let roots = gl_ruling_set(sim, &labeling, &ids, id_space, layer_bound);
+        sim.span_exit();
+        sim.span_enter("relabel");
         labeling = relabel_from_roots(
             sim,
             &labeling,
@@ -203,8 +206,13 @@ pub fn broadcast_det_local(
             &Sr::Local,
             &mut rngs,
         );
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            sim.record_gauge("layer0", sim.now(), labeling.layer0_count() as f64);
+        }
     }
-    broadcast_with_labeling(
+    sim.span_enter("broadcast");
+    let out = broadcast_with_labeling(
         sim,
         &labeling,
         source,
@@ -212,7 +220,9 @@ pub fn broadcast_det_local(
         1,
         &Sr::Local,
         &mut rngs,
-    )
+    );
+    sim.span_exit();
+    out
 }
 
 #[cfg(test)]

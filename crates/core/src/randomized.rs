@@ -94,9 +94,17 @@ pub fn broadcast_theorem11(
     let mut coins = NodeRngs::new(sim.seed(), n, 0xc011);
     let mut l = Labeling::all_zero(n);
     for _ in 0..iters {
+        sim.span_enter("relabel");
         l = relabel(sim, &l, 0.5, 1, layer_bound, &sr, &mut rngs, &mut coins);
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            sim.record_gauge("layer0", sim.now(), l.layer0_count() as f64);
+        }
     }
-    broadcast_with_labeling(sim, &l, source, layer_bound, cfg.d_bound, &sr, &mut rngs)
+    sim.span_enter("broadcast");
+    let out = broadcast_with_labeling(sim, &l, source, layer_bound, cfg.d_bound, &sr, &mut rngs);
+    sim.span_exit();
+    out
 }
 
 /// Parameters of the Theorem 12 driver.
@@ -151,10 +159,18 @@ pub fn broadcast_theorem12(
     let mut coins = NodeRngs::new(sim.seed(), n, 0xc012);
     let mut l = Labeling::all_zero(n);
     for _ in 0..iters {
+        sim.span_enter("relabel");
         l = relabel(sim, &l, p, s, layer_bound, &sr, &mut rngs, &mut coins);
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            sim.record_gauge("layer0", sim.now(), l.layer0_count() as f64);
+        }
     }
     let d_bound = ceil_log2(n.max(2)) + 1;
-    broadcast_with_labeling(sim, &l, source, layer_bound, d_bound, &sr, &mut rngs)
+    sim.span_enter("broadcast");
+    let out = broadcast_with_labeling(sim, &l, source, layer_bound, d_bound, &sr, &mut rngs);
+    sim.span_exit();
+    out
 }
 
 /// Corollary 13 (No-CD, bounded degree): Theorem 3's preprocessing builds a
@@ -165,7 +181,9 @@ pub fn broadcast_corollary13(sim: &mut Sim, source: NodeId) -> BroadcastOutcome 
     let n = sim.graph().n();
     let mut rngs = NodeRngs::new(sim.seed(), n, 0x5e13);
     let mut coins = NodeRngs::new(sim.seed(), n, 0xc013);
+    sim.span_enter("tdma_build");
     let sr = build_tdma(sim, &mut rngs, &mut coins);
+    sim.span_exit();
     let cfg = Theorem11Config {
         sr: Some(sr),
         ..Theorem11Config::default()

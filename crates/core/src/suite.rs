@@ -176,7 +176,10 @@ impl BroadcastAlgorithm for Theorem11 {
         &MESSAGING_MODELS
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_theorem11(sim, source, &Theorem11Config::default())
+        sim.span_enter(self.name());
+        let out = broadcast_theorem11(sim, source, &Theorem11Config::default());
+        sim.span_exit();
+        out
     }
 }
 
@@ -192,7 +195,10 @@ impl BroadcastAlgorithm for Theorem12 {
         &[Model::Cd, Model::CdStar]
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_theorem12(sim, source, &Theorem12Config::default())
+        sim.span_enter(self.name());
+        let out = broadcast_theorem12(sim, source, &Theorem12Config::default());
+        sim.span_exit();
+        out
     }
 }
 
@@ -213,7 +219,10 @@ impl BroadcastAlgorithm for Corollary13 {
         graph.max_degree() <= 16
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_corollary13(sim, source)
+        sim.span_enter(self.name());
+        let out = broadcast_corollary13(sim, source);
+        sim.span_exit();
+        out
     }
 }
 
@@ -229,7 +238,10 @@ impl BroadcastAlgorithm for Theorem16 {
         &MESSAGING_MODELS
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_theorem16(sim, source, &Theorem16Config::default())
+        sim.span_enter(self.name());
+        let out = broadcast_theorem16(sim, source, &Theorem16Config::default());
+        sim.span_exit();
+        out
     }
 }
 
@@ -248,7 +260,10 @@ impl BroadcastAlgorithm for Theorem20 {
         &[Model::Cd]
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_theorem20(sim, source, &Theorem20Config::default())
+        sim.span_enter(self.name());
+        let out = broadcast_theorem20(sim, source, &Theorem20Config::default());
+        sim.span_exit();
+        out
     }
 }
 
@@ -278,10 +293,21 @@ impl BroadcastAlgorithm for PathAlgorithm {
         // The protocol sleeps for long data-dependent stretches, so it runs
         // on the event-driven engine (over the *same* shared graph — no CSR
         // copy) and its meter folds back into `sim`.
+        sim.span_enter(self.name());
         let mut engine = EventEngine::new(sim.graph_arc().clone(), sim.model());
         let stats = run_path_broadcast(&mut engine, source, &PathConfig::default(), sim.seed());
         sim.absorb_meter(engine.meter());
         sim.skip(stats.quiescence + 1);
+        sim.span_exit();
+        if sim.telemetry_enabled() {
+            // The engine's slots bypass the sim; surface the delivery curve
+            // it reported as gauges on the global clock instead.
+            let mut slots: Vec<u64> = stats.delivery_slot.iter().flatten().copied().collect();
+            slots.sort_unstable();
+            for (rank, s) in slots.iter().enumerate() {
+                sim.record_gauge("informed", *s, (rank + 1) as f64);
+            }
+        }
         BroadcastOutcome {
             informed: stats.delivery_slot.iter().map(|s| s.is_some()).collect(),
             source,
@@ -300,7 +326,10 @@ impl BroadcastAlgorithm for DetLocal {
         &[Model::Local]
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_det_local(sim, source, &DetLocalConfig::default())
+        sim.span_enter(self.name());
+        let out = broadcast_det_local(sim, source, &DetLocalConfig::default());
+        sim.span_exit();
+        out
     }
 }
 
@@ -316,7 +345,10 @@ impl BroadcastAlgorithm for DetCd {
         &[Model::Cd, Model::CdStar]
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        broadcast_det_cd(sim, source, &DetCdConfig::default())
+        sim.span_enter(self.name());
+        let out = broadcast_det_cd(sim, source, &DetCdConfig::default());
+        sim.span_exit();
+        out
     }
 }
 
@@ -331,7 +363,10 @@ impl BroadcastAlgorithm for NaiveFlood {
         &[Model::Local]
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        flood_local(sim, source)
+        sim.span_enter(self.name());
+        let out = flood_local(sim, source);
+        sim.span_exit();
+        out
     }
 }
 
@@ -347,7 +382,10 @@ impl BroadcastAlgorithm for BgiDecay {
         &[Model::NoCd, Model::Cd, Model::CdStar]
     }
     fn run(&self, sim: &mut Sim, source: NodeId) -> BroadcastOutcome {
-        bgi_decay_broadcast(sim, source, None)
+        sim.span_enter(self.name());
+        let out = bgi_decay_broadcast(sim, source, None);
+        sim.span_exit();
+        out
     }
 }
 
@@ -587,6 +625,70 @@ mod tests {
         assert!(by_name("bgi_decay").unwrap().supports_model(Model::NoCd));
         for alg in ALGORITHMS {
             assert!(!alg.supports_model(Model::Beep), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn every_adapter_emits_phase_spans_when_telemetry_is_on() {
+        // Satellite of the telemetry layer: each registered algorithm marks
+        // its protocol phases, nested under a top-level span named after
+        // the adapter, and closes everything it opens.
+        for alg in ALGORITHMS {
+            let g = if alg.supports_graph(&cycle(16)) {
+                cycle(16)
+            } else {
+                path(16) // path_theorem21
+            };
+            let model = alg.supported_models()[0];
+            let mut sim = Sim::new(g, model, 42);
+            sim.enable_telemetry();
+            let out = alg.run(&mut sim, 0);
+            assert!(out.all_informed(), "{}", alg.name());
+            let tel = sim.telemetry().expect("telemetry stays attached");
+            let spans = tel.spans();
+            assert!(
+                spans.iter().any(|s| s.name == alg.name() && s.depth == 0),
+                "{} has no top-level span",
+                alg.name()
+            );
+            assert!(
+                spans.iter().any(|s| s.depth > 0 || s.name != alg.name())
+                    || !tel.gauges().is_empty(),
+                "{} marked no internal phases or gauges",
+                alg.name()
+            );
+            assert!(
+                spans.iter().all(|s| !s.is_open()),
+                "{} left a span open",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_suite_results() {
+        // The layer must be observational: informed set, clock, and energy
+        // are bit-identical with telemetry on or off.
+        for alg in ALGORITHMS {
+            let g = if alg.supports_graph(&cycle(16)) {
+                cycle(16)
+            } else {
+                path(16)
+            };
+            let model = alg.supported_models()[0];
+            let mut plain = Sim::new(g.clone(), model, 7);
+            let out_plain = alg.run(&mut plain, 0);
+            let mut traced = Sim::new(g, model, 7);
+            traced.enable_telemetry();
+            let out_traced = alg.run(&mut traced, 0);
+            assert_eq!(out_plain, out_traced, "{}", alg.name());
+            assert_eq!(plain.now(), traced.now(), "{}", alg.name());
+            assert_eq!(
+                plain.meter().total_energy(),
+                traced.meter().total_energy(),
+                "{}",
+                alg.name()
+            );
         }
     }
 

@@ -264,7 +264,10 @@ fn parse_edge_list(text: &str) -> Result<ParsedDataset, DatasetError> {
             }
         };
         if u == v {
-            return Err(DatasetError::SelfLoop { line: lineno, id: u });
+            return Err(DatasetError::SelfLoop {
+                line: lineno,
+                id: u,
+            });
         }
         max_id = max_id.max(u).max(v);
         edges.push((u as u32, v as u32));
@@ -371,7 +374,10 @@ fn parse_dimacs(text: &str) -> Result<ParsedDataset, DatasetError> {
                     }
                 }
                 if u == v {
-                    return Err(DatasetError::SelfLoop { line: lineno, id: u });
+                    return Err(DatasetError::SelfLoop {
+                        line: lineno,
+                        id: u,
+                    });
                 }
                 edges.push((u as u32 - 1, v as u32 - 1));
             }
@@ -755,7 +761,8 @@ pub fn load_graph_cached(path: &Path, cache_dir: &Path) -> Result<LoadedDataset,
     let mut src_digest: Option<u64> = None;
     if let Ok(buf) = std::fs::read(&entry) {
         if let Some((stamp, graph)) = decode_bin(&buf) {
-            let fast = stamp.len == meta.len() && stamp.mtime_s == mtime_s && stamp.mtime_ns == mtime_ns;
+            let fast =
+                stamp.len == meta.len() && stamp.mtime_s == mtime_s && stamp.mtime_ns == mtime_ns;
             let fresh = fast || {
                 let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
                 let d = fnv1a64(&bytes);
@@ -875,7 +882,11 @@ pub fn k_nearest(pts: &[(f64, f64)], k: usize, seed: u64) -> Graph {
     let (min_y, max_y) = min_max(pts.iter().map(|p| p.1));
     let span = (max_x - min_x).max(max_y - min_y);
     let cells_per_axis = (n as f64).sqrt().ceil().max(1.0);
-    let cell = if span > 0.0 { span / cells_per_axis } else { 1.0 };
+    let cell = if span > 0.0 {
+        span / cells_per_axis
+    } else {
+        1.0
+    };
     let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
     let key = |x: f64, y: f64| ((x / cell).floor() as i64, (y / cell).floor() as i64);
     for (i, &(x, y)) in pts.iter().enumerate() {
@@ -1360,7 +1371,10 @@ mod tests {
         );
         // Unknown extension: sniff.
         let u = Path::new("x.data");
-        assert_eq!(detect_format(u, "c hi\np edge 1 0\n"), DatasetFormat::Dimacs);
+        assert_eq!(
+            detect_format(u, "c hi\np edge 1 0\n"),
+            DatasetFormat::Dimacs
+        );
         assert_eq!(detect_format(u, "# snap\n1 2\n"), DatasetFormat::Snap);
         assert_eq!(detect_format(u, "1 2\n"), DatasetFormat::EdgeList);
     }
@@ -1540,7 +1554,13 @@ mod tests {
 
     #[test]
     fn family_files_cover_every_dataset_family_and_only_them() {
-        for fam in ["ds-social", "ds-roadnet", "ds-unit-disk", "ds-knn", "ds-chung-lu"] {
+        for fam in [
+            "ds-social",
+            "ds-roadnet",
+            "ds-unit-disk",
+            "ds-knn",
+            "ds-chung-lu",
+        ] {
             let files = family_files(fam);
             assert!(!files.is_empty(), "{fam} has no backing files");
             for f in files {

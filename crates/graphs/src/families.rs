@@ -306,7 +306,13 @@ mod tests {
             .collect();
         assert_eq!(
             ds,
-            ["ds-social", "ds-roadnet", "ds-unit-disk", "ds-knn", "ds-chung-lu"]
+            [
+                "ds-social",
+                "ds-roadnet",
+                "ds-unit-disk",
+                "ds-knn",
+                "ds-chung-lu"
+            ]
         );
         for fam in Family::ALL {
             assert_eq!(fam.is_dataset(), fam.name().starts_with("ds-"));

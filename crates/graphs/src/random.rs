@@ -178,7 +178,8 @@ pub(crate) fn disk_edges(pts: &[(f64, f64)], radius: f64) -> Vec<(usize, usize)>
     }
     let r2 = radius * radius;
     let key = |x: f64, y: f64| ((x / radius).floor() as i64, (y / radius).floor() as i64);
-    let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> = std::collections::HashMap::new();
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
     for (i, &(x, y)) in pts.iter().enumerate() {
         buckets.entry(key(x, y)).or_default().push(i as u32);
     }

@@ -140,7 +140,7 @@ fn render_dimacs(n: usize, edges: &[(usize, usize)], rng: &mut SmallRng) -> Stri
 /// Parses `text` (written under `name` so extension-based detection picks
 /// the right parser), twice through the binary cache; returns the cold
 /// and warm graphs plus the warm load's cache bit.
-fn through_cache(dir: &PathBuf, name: &str, text: &str) -> (Graph, Graph, bool) {
+fn through_cache(dir: &std::path::Path, name: &str, text: &str) -> (Graph, Graph, bool) {
     let src = dir.join(name);
     let cache = dir.join("csr");
     std::fs::write(&src, text).unwrap();

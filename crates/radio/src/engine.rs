@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use crate::bitset::BitSet;
 use crate::model::{resolve_row, Action, Feedback, Model};
-use crate::trace::{Trace, TraceKind};
+use crate::telemetry::Telemetry;
+use crate::trace::Trace;
 use crate::{EnergyMeter, Graph, NodeId, Slot};
 
 /// When a device next wants to wake.
@@ -61,7 +62,8 @@ pub struct EventEngine {
     graph: Arc<Graph>,
     model: Model,
     meter: EnergyMeter,
-    trace: Option<Trace>,
+    /// Opt-in structured recorder; `None` keeps every hook to one check.
+    telemetry: Option<Box<Telemetry>>,
     sending: Vec<u32>,
     /// Scratch: the packed transmitting set of the current slot.
     tx: BitSet,
@@ -81,7 +83,7 @@ impl EventEngine {
             graph,
             model,
             meter: EnergyMeter::new(n),
-            trace: None,
+            telemetry: None,
             sending: vec![0; n],
             tx: BitSet::new(n),
             listening: BitSet::new(n),
@@ -103,14 +105,57 @@ impl EventEngine {
         &self.meter
     }
 
-    /// Starts recording a [`Trace`].
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::new());
+    /// Starts recording structured [`Telemetry`] with the default ring
+    /// capacities (idempotent). Recording never perturbs the run.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(Telemetry::new()));
+        }
     }
 
-    /// The trace recorded so far, if enabled.
-    pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+    /// Whether a telemetry recorder is attached.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry recorded so far, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detaches and returns the recorder (for exporting after a run).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take().map(|t| *t)
+    }
+
+    /// Records an already-closed phase span. No-op without telemetry.
+    pub fn span_at(&mut self, name: &'static str, start: Slot, end: Slot) {
+        if let Some(t) = &mut self.telemetry {
+            t.span_at(name, start, end);
+        }
+    }
+
+    /// Records one gauge sample. No-op without telemetry.
+    pub fn record_gauge(&mut self, name: &'static str, slot: Slot, value: f64) {
+        if let Some(t) = &mut self.telemetry {
+            t.record_gauge(name, slot, value);
+        }
+    }
+
+    /// Compatibility shim for the retired string-based trace: enables
+    /// telemetry. Ported callers use [`EventEngine::enable_telemetry`].
+    #[doc(hidden)]
+    #[deprecated(note = "use enable_telemetry(); the string-based trace is retired")]
+    pub fn enable_trace(&mut self) {
+        self.enable_telemetry();
+    }
+
+    /// Compatibility shim: reconstructs a [`Trace`] view from telemetry
+    /// events (payload strings are empty — see [`Trace::from_telemetry`]).
+    #[doc(hidden)]
+    #[deprecated(note = "use telemetry(); the string-based trace is retired")]
+    pub fn trace(&self) -> Option<Trace> {
+        self.telemetry.as_deref().map(Trace::from_telemetry)
     }
 
     /// Runs `protocol` until every device terminates or a device asks to
@@ -154,13 +199,16 @@ impl EventEngine {
                 awake.push(v);
             }
             last_slot = Some(t);
+            if let Some(tel) = &mut self.telemetry {
+                tel.begin_slot(t, awake.len() as u32);
+            }
             for &v in &awake {
                 match protocol.on_wake(v, t) {
                     Action::Idle => {}
                     Action::Send(m) => {
                         self.meter.charge_send(v, t);
-                        if let Some(tr) = &mut self.trace {
-                            tr.push(t, v, TraceKind::Send(format!("{m:?}")));
+                        if let Some(tel) = &mut self.telemetry {
+                            tel.note_tx(v);
                         }
                         senders.push((v, m));
                     }
@@ -172,8 +220,8 @@ impl EventEngine {
                     Action::SendListen(m) => {
                         self.meter.charge_send(v, t);
                         self.meter.charge_listen(v, t);
-                        if let Some(tr) = &mut self.trace {
-                            tr.push(t, v, TraceKind::Send(format!("{m:?}")));
+                        if let Some(tel) = &mut self.telemetry {
+                            tel.note_tx(v);
                         }
                         senders.push((v, m));
                         self.listening.insert(v);
@@ -194,14 +242,12 @@ impl EventEngine {
                         &self.sending,
                         &senders,
                     );
-                    if let Some(tr) = &mut self.trace {
-                        let kind = match &fb {
-                            Feedback::Silence => TraceKind::HeardSilence,
-                            Feedback::Noise | Feedback::Beep => TraceKind::HeardNoise,
-                            Feedback::One(m) => TraceKind::Recv(format!("{m:?}")),
-                            Feedback::Many(ms) => TraceKind::Recv(format!("{ms:?}")),
-                        };
-                        tr.push(t, v, kind);
+                    if let Some(tel) = &mut self.telemetry {
+                        match &fb {
+                            Feedback::Silence => tel.note_silence(v),
+                            Feedback::Noise | Feedback::Beep => tel.note_noise(v),
+                            Feedback::One(_) | Feedback::Many(_) => tel.note_recv(v),
+                        }
                     }
                     Some(fb)
                 } else {
@@ -221,6 +267,9 @@ impl EventEngine {
             }
             for &v in &listeners {
                 self.listening.remove(v);
+            }
+            if let Some(tel) = &mut self.telemetry {
+                tel.end_slot();
             }
         }
         RunOutcome {

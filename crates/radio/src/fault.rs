@@ -231,6 +231,9 @@ pub struct FaultState {
     next_event: usize,
     /// Remaining jamming budget (meaningful for `Jammer` plans only).
     jam_budget: u64,
+    /// Devices whose `Down` transition fired in the most recent
+    /// [`FaultModel::begin_slot`] — the telemetry layer's crash events.
+    newly_down: Vec<NodeId>,
 }
 
 impl FaultState {
@@ -283,6 +286,7 @@ impl FaultState {
             events,
             next_event: 0,
             jam_budget,
+            newly_down: Vec::new(),
         }
     }
 
@@ -294,6 +298,18 @@ impl FaultState {
     /// Remaining jamming budget (0 for non-jammer plans).
     pub fn jam_budget(&self) -> u64 {
         self.jam_budget
+    }
+
+    /// How many devices are currently down.
+    pub fn down_count(&self) -> usize {
+        self.down_count
+    }
+
+    /// The devices whose crash/leave transition fired in the most
+    /// recent [`FaultModel::begin_slot`] — batch-skipped ranges surface
+    /// all their due transitions at the next simulated slot.
+    pub fn newly_down(&self) -> &[NodeId] {
+        &self.newly_down
     }
 
     /// A uniform draw in `[0, 1)` as a pure hash of the key and up to
@@ -319,6 +335,9 @@ const STREAM_EDGE: u64 = 0xed6e_d601;
 
 impl FaultModel for FaultState {
     fn begin_slot(&mut self, slot: Slot) {
+        if !self.newly_down.is_empty() {
+            self.newly_down.clear();
+        }
         while let Some(&(t, v, kind)) = self.events.get(self.next_event) {
             if t > slot {
                 break;
@@ -328,12 +347,18 @@ impl FaultModel for FaultState {
                     if !self.down.contains(v) {
                         self.down.insert(v);
                         self.down_count += 1;
+                        self.newly_down.push(v);
                     }
                 }
                 EventKind::Up => {
                     if self.down.contains(v) {
                         self.down.remove(v);
                         self.down_count -= 1;
+                        // A same-batch leave+join nets to up: it is not a
+                        // crash transition for this slot.
+                        if let Some(pos) = self.newly_down.iter().position(|&u| u == v) {
+                            self.newly_down.swap_remove(pos);
+                        }
                     }
                 }
             }
@@ -522,6 +547,31 @@ mod tests {
         );
         s.begin_slot(4);
         assert!(!s.is_down(2), "Down sorts before Up at equal slots");
+        assert!(
+            s.newly_down().is_empty(),
+            "a netted leave+join is not a crash transition"
+        );
+    }
+
+    #[test]
+    fn newly_down_reports_each_transition_once() {
+        let mut s = state(
+            FaultPlan::Crash {
+                schedule: vec![(5, 0), (10, 2)],
+            },
+            4,
+        );
+        s.begin_slot(0);
+        assert!(s.newly_down().is_empty());
+        s.begin_slot(5);
+        assert_eq!(s.newly_down(), &[0]);
+        s.begin_slot(6);
+        assert!(s.newly_down().is_empty(), "transitions report only once");
+        // A batch skip past slot 10 surfaces the due transition at the
+        // next simulated slot.
+        s.begin_slot(100);
+        assert_eq!(s.newly_down(), &[2]);
+        assert_eq!(s.down_count(), 2);
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl Graph {
             return Err(GraphError::InvalidCsr("offsets must start at 0"));
         }
         if offsets[n] as usize != neighbors.len() {
-            return Err(GraphError::InvalidCsr("offsets must end at neighbors.len()"));
+            return Err(GraphError::InvalidCsr(
+                "offsets must end at neighbors.len()",
+            ));
         }
         if neighbors.len() % 2 != 0 {
             return Err(GraphError::InvalidCsr("odd adjacency length"));
@@ -182,7 +184,9 @@ impl Graph {
             return Err(GraphError::InvalidCsr("offsets must start at 0"));
         }
         if offsets[n] as usize != neighbors.len() {
-            return Err(GraphError::InvalidCsr("offsets must end at neighbors.len()"));
+            return Err(GraphError::InvalidCsr(
+                "offsets must end at neighbors.len()",
+            ));
         }
         if neighbors.len() % 2 != 0 {
             return Err(GraphError::InvalidCsr("odd adjacency length"));

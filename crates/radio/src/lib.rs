@@ -67,6 +67,7 @@ mod graph;
 mod model;
 pub mod rng;
 mod sim;
+pub mod telemetry;
 mod trace;
 
 pub use bitset::BitSet;
@@ -76,6 +77,8 @@ pub use fault::{FaultModel, FaultPlan, FaultState, JammerStrategy, SlotVerdict};
 pub use graph::{Graph, GraphError};
 pub use model::{resolve, Action, Feedback, Model};
 pub use sim::{from_fns, Schedule, Sim, SlotBehavior, SparseSchedule};
+pub use telemetry::{EventKind, Gauge, SlotCounters, SlotEvent, Span, Telemetry};
+#[doc(hidden)]
 pub use trace::{Trace, TraceEvent, TraceKind};
 
 /// Index of a device (vertex) in the network, in `0..n`.

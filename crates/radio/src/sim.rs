@@ -6,7 +6,8 @@ use std::sync::Arc;
 use crate::bitset::BitSet;
 use crate::fault::{jam_feedback, FaultModel, FaultPlan, FaultState, SlotVerdict, FAULT_STREAM};
 use crate::model::{resolve, resolve_row, Action, Feedback, Model};
-use crate::trace::{Trace, TraceKind};
+use crate::telemetry::Telemetry;
+use crate::trace::Trace;
 use crate::{EnergyMeter, Graph, NodeId, Slot};
 
 /// Per-slot behavior of the devices taking part in one primitive.
@@ -319,7 +320,10 @@ pub struct Sim {
     model: Model,
     clock: Slot,
     meter: EnergyMeter,
-    trace: Option<Trace>,
+    /// The opt-in structured recorder; `None` (the default) keeps every
+    /// instrumentation hook to a single pointer check, so uninstrumented
+    /// runs are bit-identical to the pre-telemetry engine.
+    telemetry: Option<Box<Telemetry>>,
     seed: u64,
     /// Scratch: per-node index+1 into the current slot's sender list.
     sending: Vec<u32>,
@@ -346,7 +350,7 @@ impl Sim {
             model,
             clock: 0,
             meter: EnergyMeter::new(n),
-            trace: None,
+            telemetry: None,
             seed,
             sending: vec![0; n],
             tx: BitSet::new(n),
@@ -450,14 +454,92 @@ impl Sim {
         self.meter.merge(other);
     }
 
-    /// Starts recording a [`Trace`] of all subsequent slots.
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::new());
+    /// Starts recording structured [`Telemetry`] (slot events, per-slot
+    /// counters, phase spans, gauges) for all subsequent slots, with the
+    /// default ring capacities. Idempotent: an already-attached recorder
+    /// keeps its records.
+    ///
+    /// Recording never perturbs the run: the informed set, per-node
+    /// energy, clock, and every random stream are bit-identical with
+    /// telemetry on or off (property-tested across all models).
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(Telemetry::new()));
+        }
     }
 
-    /// The trace recorded so far, if tracing is enabled.
-    pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+    /// Attaches a caller-configured recorder (e.g. custom ring
+    /// capacities), replacing any existing one.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// Whether a telemetry recorder is attached — algorithms gate any
+    /// non-trivial instrumentation work (e.g. computing an informed-set
+    /// curve) on this so uninstrumented runs pay nothing.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry recorded so far, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detaches and returns the recorder (for exporting after a run).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take().map(|t| *t)
+    }
+
+    /// Opens a phase span named `name` at the current slot. No-op
+    /// without telemetry. See [`Telemetry::span_enter`].
+    pub fn span_enter(&mut self, name: &'static str) {
+        let now = self.clock;
+        if let Some(t) = &mut self.telemetry {
+            t.span_enter(name, now);
+        }
+    }
+
+    /// Closes the innermost open span at the current slot. No-op
+    /// without telemetry.
+    pub fn span_exit(&mut self) {
+        let now = self.clock;
+        if let Some(t) = &mut self.telemetry {
+            t.span_exit(now);
+        }
+    }
+
+    /// Records an already-closed span retroactively. No-op without
+    /// telemetry. See [`Telemetry::span_at`].
+    pub fn span_at(&mut self, name: &'static str, start: Slot, end: Slot) {
+        if let Some(t) = &mut self.telemetry {
+            t.span_at(name, start, end);
+        }
+    }
+
+    /// Records one gauge sample (e.g. the informed-set size at `slot`).
+    /// No-op without telemetry. See [`Telemetry::record_gauge`].
+    pub fn record_gauge(&mut self, name: &'static str, slot: Slot, value: f64) {
+        if let Some(t) = &mut self.telemetry {
+            t.record_gauge(name, slot, value);
+        }
+    }
+
+    /// Compatibility shim for the retired string-based trace: enables
+    /// telemetry. Ported callers use [`Sim::enable_telemetry`].
+    #[doc(hidden)]
+    #[deprecated(note = "use enable_telemetry(); the string-based trace is retired")]
+    pub fn enable_trace(&mut self) {
+        self.enable_telemetry();
+    }
+
+    /// Compatibility shim: reconstructs a [`Trace`] view from the
+    /// telemetry events. Message payloads are no longer stringified, so
+    /// `Send`/`Recv` records carry empty payload strings.
+    #[doc(hidden)]
+    #[deprecated(note = "use telemetry(); the string-based trace is retired")]
+    pub fn trace(&self) -> Option<Trace> {
+        self.telemetry.as_deref().map(Trace::from_telemetry)
     }
 
     /// Runs one primitive under `schedule` — the single driving core every
@@ -687,6 +769,15 @@ impl Sim {
         if let Some(f) = &mut self.faults {
             f.begin_slot(now);
         }
+        if let Some(tel) = &mut self.telemetry {
+            tel.begin_slot(now, participants.len() as u32);
+            if let Some(f) = &self.faults {
+                for &v in f.newly_down() {
+                    tel.note_crashed(v);
+                }
+                tel.set_down(f.down_count() as u32);
+            }
+        }
         for &v in participants {
             // Down devices (crashed or churned out) are masked before the
             // poll: no action, no feedback, no energy, and their private
@@ -701,8 +792,8 @@ impl Sim {
                 Action::Idle => {}
                 Action::Send(m) => {
                     self.meter.charge_send(v, now);
-                    if let Some(tr) = &mut self.trace {
-                        tr.push(now, v, TraceKind::Send(format!("{m:?}")));
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.note_tx(v);
                     }
                     senders.push((v, m.clone()));
                 }
@@ -713,8 +804,8 @@ impl Sim {
                 Action::SendListen(m) => {
                     self.meter.charge_send(v, now);
                     self.meter.charge_listen(v, now);
-                    if let Some(tr) = &mut self.trace {
-                        tr.push(now, v, TraceKind::Send(format!("{m:?}")));
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.note_tx(v);
                     }
                     senders.push((v, m.clone()));
                     listeners.push(v);
@@ -747,6 +838,11 @@ impl Sim {
                 // tallies the wasted transmissions separately.
                 for (v, _) in senders.iter() {
                     self.meter.note_lost_send(*v);
+                }
+                if let Some(tel) = &mut self.telemetry {
+                    for (v, _) in senders.iter() {
+                        tel.note_lost(*v);
+                    }
                 }
             }
             if verdict == SlotVerdict::Lost {
@@ -791,20 +887,25 @@ impl Sim {
                     senders,
                 )
             };
-            if let Some(tr) = &mut self.trace {
-                let kind = match &fb {
-                    Feedback::Silence => TraceKind::HeardSilence,
-                    Feedback::Noise | Feedback::Beep => TraceKind::HeardNoise,
-                    Feedback::One(m) => TraceKind::Recv(format!("{m:?}")),
-                    Feedback::Many(ms) => TraceKind::Recv(format!("{ms:?}")),
-                };
-                tr.push(now, v, kind);
+            if let Some(tel) = &mut self.telemetry {
+                if verdict == SlotVerdict::Jammed {
+                    tel.note_jammed(v);
+                } else {
+                    match &fb {
+                        Feedback::Silence => tel.note_silence(v),
+                        Feedback::Noise | Feedback::Beep => tel.note_noise(v),
+                        Feedback::One(_) | Feedback::Many(_) => tel.note_recv(v),
+                    }
+                }
             }
             behavior.feedback(v, t, fb);
         }
         for (v, _) in senders.iter() {
             self.sending[*v] = 0;
             self.tx.remove(*v);
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.end_slot();
         }
         self.clock += 1;
     }
@@ -946,7 +1047,40 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_sends_and_receptions() {
+    fn telemetry_records_sends_and_receptions() {
+        use crate::telemetry::EventKind;
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut sim = Sim::new(g, Model::NoCd, 0);
+        sim.enable_telemetry();
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Send(9u8)
+                } else {
+                    Action::Listen
+                }
+            },
+            |_, _, _| {},
+        );
+        sim.run(&[0, 1], 1, &mut b);
+        let tel = sim.telemetry().unwrap();
+        let events: Vec<_> = tel.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].node(), events[0].kind()), (0, EventKind::Tx));
+        assert_eq!((events[1].node(), events[1].kind()), (1, EventKind::Recv));
+        let rows: Vec<_> = tel.counters().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].polled, rows[0].tx, rows[0].delivered), (2, 1, 1));
+        // take_telemetry hands the recorder over and detaches it.
+        let owned = sim.take_telemetry().unwrap();
+        assert_eq!(owned.event_count(), 2);
+        assert!(!sim.telemetry_enabled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_trace_shim_still_reports_event_kinds() {
+        use crate::trace::TraceKind;
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let mut sim = Sim::new(g, Model::NoCd, 0);
         sim.enable_trace();
@@ -961,10 +1095,153 @@ mod tests {
             |_, _, _| {},
         );
         sim.run(&[0, 1], 1, &mut b);
+        // Payload strings are no longer recorded; kinds and order survive.
         let tr = sim.trace().unwrap();
         assert_eq!(tr.events().len(), 2);
-        assert_eq!(tr.events()[0].kind, TraceKind::Send("9".into()));
-        assert_eq!(tr.events()[1].kind, TraceKind::Recv("9".into()));
+        assert_eq!(tr.events()[0].kind, TraceKind::Send(String::new()));
+        assert_eq!(tr.events()[1].kind, TraceKind::Recv(String::new()));
+        assert_eq!(tr.events()[0].node, 0);
+        assert_eq!(tr.events()[1].node, 1);
+    }
+
+    #[test]
+    fn telemetry_surfaces_fault_verdicts_per_slot() {
+        use crate::telemetry::EventKind;
+        // Slot loss with p = 1: every send is Lost, every listener hears
+        // recorded Silence — the per-slot view of lost_sends.
+        let mut sim = Sim::with_faults(star(1), Model::Cd, 3, FaultPlan::SlotLoss { p: 1.0 });
+        sim.enable_telemetry();
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(1u8)
+                }
+            },
+            |_, _, _| {},
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &[0, 1],
+                slots: 3,
+            },
+            &mut b,
+        );
+        drop(b);
+        let tel = sim.telemetry().unwrap();
+        assert_eq!(tel.events_of(EventKind::Lost).count(), 3);
+        assert_eq!(tel.events_of(EventKind::Silence).count(), 3);
+        let row = tel.counters().next().unwrap();
+        assert_eq!((row.tx, row.lost, row.silent), (1, 1, 1));
+        assert_eq!(
+            tel.counters().map(|r| r.lost as u64).sum::<u64>(),
+            sim.meter().total_lost_sends()
+        );
+    }
+
+    #[test]
+    fn telemetry_marks_jammed_listeners_and_crashes() {
+        use crate::telemetry::EventKind;
+        let mut sim = Sim::with_faults(
+            star(2),
+            Model::Cd,
+            3,
+            FaultPlan::Jammer {
+                budget: 1,
+                strategy: JammerStrategy::Reactive,
+            },
+        );
+        sim.enable_telemetry();
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(v as u8)
+                }
+            },
+            |_, _, _| {},
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &[0, 1, 2],
+                slots: 2,
+            },
+            &mut b,
+        );
+        drop(b);
+        let tel = sim.telemetry().unwrap();
+        // Slot 0 is jammed (budget 1); slot 1 is a clean collision.
+        assert_eq!(tel.events_of(EventKind::Jammed).count(), 1);
+        assert_eq!(tel.events_of(EventKind::Noise).count(), 1);
+        assert_eq!(tel.events_of(EventKind::Lost).count(), 2);
+        let rows: Vec<_> = tel.counters().collect();
+        assert_eq!((rows[0].jammed, rows[0].lost), (1, 2));
+        assert_eq!((rows[1].jammed, rows[1].collisions), (0, 1));
+
+        // A crash schedule produces one Crashed event at the crash slot
+        // and the down gauge in subsequent rows.
+        let mut sim = Sim::with_faults(
+            star(1),
+            Model::Cd,
+            3,
+            FaultPlan::Crash {
+                schedule: vec![(1, 1)],
+            },
+        );
+        sim.enable_telemetry();
+        let mut b = from_fns(
+            |v, _| {
+                if v == 0 {
+                    Action::Listen
+                } else {
+                    Action::Send(1u8)
+                }
+            },
+            |_, _, _| {},
+        );
+        sim.drive(
+            Schedule::Dense {
+                participants: &[0, 1],
+                slots: 3,
+            },
+            &mut b,
+        );
+        drop(b);
+        let tel = sim.telemetry().unwrap();
+        let crashes: Vec<_> = tel.events_of(EventKind::Crashed).collect();
+        assert_eq!(crashes.len(), 1);
+        assert_eq!((crashes[0].slot, crashes[0].node()), (1, 1));
+        let rows: Vec<_> = tel.counters().collect();
+        assert_eq!(rows[0].down, 0);
+        assert_eq!(rows[1].down, 1);
+        assert_eq!(rows[2].down, 1);
+    }
+
+    #[test]
+    fn spans_and_gauges_record_through_the_sim() {
+        let mut sim = Sim::new(star(1), Model::Cd, 0);
+        // All span/gauge calls are no-ops without telemetry.
+        sim.span_enter("ignored");
+        sim.span_exit();
+        sim.record_gauge("ignored", 0, 1.0);
+        assert!(sim.telemetry().is_none());
+        sim.enable_telemetry();
+        sim.span_enter("phase");
+        sim.skip(10);
+        let mut b = from_fns(|_, _| Action::Send(0u8), |_, _, _| {});
+        sim.run(&[0], 2, &mut b);
+        sim.span_exit();
+        sim.span_at("retro", 3, 7);
+        sim.record_gauge("informed", 12, 2.0);
+        let tel = sim.telemetry().unwrap();
+        assert_eq!(tel.spans().len(), 2);
+        assert_eq!((tel.spans()[0].start, tel.spans()[0].end), (0, 12));
+        assert_eq!((tel.spans()[1].start, tel.spans()[1].end), (3, 7));
+        assert_eq!(tel.gauges().len(), 1);
+        // Skipped slots produce no counter rows.
+        assert_eq!(tel.counters().count(), 2);
     }
 
     #[test]

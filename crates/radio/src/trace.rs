@@ -1,5 +1,14 @@
-//! Optional event tracing, used to render the paper's Figure 1.
+//! Legacy string-based event tracing — retained as a compatibility shim.
+//!
+//! The structured [`crate::telemetry`] layer replaced this module: it
+//! records binary-packed events in bounded rings instead of eagerly
+//! stringified payloads, and adds per-slot counters, phase spans, and
+//! gauges. The deprecated [`crate::Sim::trace`] /
+//! [`crate::EventEngine::trace`] shims reconstruct a [`Trace`] view from
+//! telemetry events (with empty payload strings — payloads are no longer
+//! recorded); new code should read [`crate::Telemetry`] directly.
 
+use crate::telemetry::{EventKind, Telemetry};
 use crate::{NodeId, Slot};
 
 /// What happened to one device in one slot.
@@ -39,6 +48,26 @@ impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A trace view reconstructed from telemetry events, for callers of
+    /// the deprecated trace API. Payload strings are empty (telemetry
+    /// never stringifies messages); `Lost`/`Crashed` events have no
+    /// legacy equivalent and are skipped; `Jammed` listeners map to
+    /// [`TraceKind::HeardNoise`].
+    pub fn from_telemetry(tel: &Telemetry) -> Trace {
+        let mut t = Trace::new();
+        for e in tel.events() {
+            let kind = match e.kind() {
+                EventKind::Tx => TraceKind::Send(String::new()),
+                EventKind::Recv => TraceKind::Recv(String::new()),
+                EventKind::Silence => TraceKind::HeardSilence,
+                EventKind::Noise | EventKind::Jammed => TraceKind::HeardNoise,
+                EventKind::Lost | EventKind::Crashed => continue,
+            };
+            t.push(e.slot, e.node(), kind);
+        }
+        t
     }
 
     /// Appends an event.

@@ -149,6 +149,90 @@ fn outcome(sim: &Sim, b: Scripted) -> Outcome {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Telemetry differential: enabling the recorder must not perturb the
+    /// engine. A traced dense drive must match the untraced reference —
+    /// informed set, feedback log, per-node energy, clock, `last_active`,
+    /// `idle_skipped`, and the rng-driven collision outcomes folded into
+    /// all of those — bit-for-bit on every model, while actually
+    /// recording (non-empty events and counters once anything transmits).
+    #[test]
+    fn telemetry_does_not_perturb_the_engine(
+        n in 2usize..32,
+        graph_seed in any::<u64>(),
+        script_seed in any::<u64>(),
+        slots in 1u64..20,
+    ) {
+        let graph = random_graph(n, graph_seed);
+        let all: Vec<NodeId> = (0..n).collect();
+        for model in Model::ALL {
+            let mut plain_sim = Sim::new(graph.clone(), model, 0);
+            let mut plain_b = Scripted::new(script_seed, n, slots);
+            plain_sim.drive(Schedule::Dense { participants: &all, slots }, &mut plain_b);
+            let plain_skipped = plain_sim.meter().idle_skipped();
+            let plain = outcome(&plain_sim, plain_b);
+
+            let mut traced_sim = Sim::new(graph.clone(), model, 0);
+            traced_sim.enable_telemetry();
+            let mut traced_b = Scripted::new(script_seed, n, slots);
+            traced_sim.drive(Schedule::Dense { participants: &all, slots }, &mut traced_b);
+            prop_assert_eq!(traced_sim.meter().idle_skipped(), plain_skipped);
+            prop_assert_eq!(&outcome(&traced_sim, traced_b), &plain, "traced vs plain, {}", model);
+
+            // The recorder really recorded: a scripted sender exists in
+            // almost every case, and whenever one does the event ring and
+            // the per-slot counters must have seen it.
+            let tel = traced_sim.take_telemetry().expect("telemetry enabled");
+            if plain.energy.iter().any(|&e| e > 0) {
+                prop_assert!(tel.event_count() > 0, "no events on {}", model);
+                prop_assert!(tel.counters().count() > 0, "no counters on {}", model);
+            }
+        }
+    }
+}
+
+/// The zero-cost-when-off claim, measured: the untraced drive must not be
+/// slower than the traced one beyond generous noise margins (median of
+/// three runs each; the off path is a single `Option` check per slot).
+/// This is deliberately one-sided — it catches the off path accidentally
+/// growing recording work, without flaking on machine noise.
+#[test]
+fn telemetry_off_costs_nothing_measurable() {
+    let n = 192;
+    let slots = 384;
+    let graph = random_graph(n, 0xfeed);
+    let all: Vec<NodeId> = (0..n).collect();
+    let run = |traced: bool| {
+        let mut sim = Sim::new(graph.clone(), Model::Local, 0);
+        if traced {
+            sim.enable_telemetry();
+        }
+        let mut b = Scripted::new(0xbeef, n, slots);
+        let start = std::time::Instant::now();
+        sim.drive(
+            Schedule::Dense {
+                participants: &all,
+                slots,
+            },
+            &mut b,
+        );
+        start.elapsed()
+    };
+    let median = |traced: bool| {
+        let mut times: Vec<_> = (0..3).map(|_| run(traced)).collect();
+        times.sort();
+        times[1]
+    };
+    let off = median(false);
+    let on = median(true);
+    assert!(
+        off <= on.mul_f64(1.25) + std::time::Duration::from_millis(50),
+        "telemetry-off drive slower than traced: off={off:?} on={on:?}"
+    );
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]

@@ -9,14 +9,14 @@
 //! Run with: `cargo run --release --example path_timeline`
 
 use ebc_core::path::{run_path_broadcast, PathConfig};
-use ebc_radio::{EventEngine, Model, TraceKind};
+use ebc_radio::{EventEngine, EventKind, Model};
 
 fn main() {
     let n = 32;
     let seed = 8;
     let g = ebc_graphs::deterministic::path(n);
     let mut engine = EventEngine::new(g, Model::Local);
-    engine.enable_trace();
+    engine.enable_telemetry();
     let cfg = PathConfig {
         oriented: true,
         cap_blocking: true,
@@ -27,15 +27,29 @@ fn main() {
     let max_slot = stats.quiescence as usize;
     // grid[slot][vertex]
     let mut grid = vec![vec![' '; n]; max_slot + 1];
-    for e in engine.trace().expect("trace enabled").events() {
-        let cell = &mut grid[e.slot as usize][e.node];
-        *cell = match &e.kind {
-            TraceKind::Send(m) if m.contains("Payload") => 'P',
-            TraceKind::Send(_) => '#',
-            TraceKind::Recv(m) if m.contains("Payload") => 'P',
-            TraceKind::Recv(_) => 'o',
-            TraceKind::HeardSilence | TraceKind::HeardNoise => '.',
+    let tel = engine.telemetry().expect("telemetry enabled");
+    for e in tel.events() {
+        let c = match e.kind() {
+            EventKind::Tx => '#',
+            EventKind::Recv => 'o',
+            EventKind::Silence | EventKind::Noise => '.',
+            _ => continue,
         };
+        grid[e.slot as usize][e.node()] = c;
+    }
+    // Telemetry events are payload-agnostic; recover the payload's track from
+    // the per-vertex delivery slots: vertex v first receives the payload at
+    // `delivery_slot[v]`, transmitted by its upstream neighbor the same slot.
+    for (v, slot) in stats.delivery_slot.iter().enumerate() {
+        let Some(t) = *slot else { continue };
+        let t = t as usize;
+        if v == 0 || t > max_slot {
+            continue; // the source holds the payload from the start
+        }
+        grid[t][v] = 'P';
+        if grid[t][v - 1] == '#' {
+            grid[t][v - 1] = 'P';
+        }
     }
 
     println!("path of n = {n}, source = 0, seed = {seed} (paper Fig. 1)");
